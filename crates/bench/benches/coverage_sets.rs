@@ -1,0 +1,91 @@
+//! Coverage-set construction benchmarks (Table I / Table IV / Fig. 4 /
+//! Fig. 9 machinery) and convex-hull kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_coverage::hull::ConvexRegion;
+use paradrive_coverage::region::CoverageSet;
+use paradrive_coverage::scores::{build_stack, BuildOptions};
+use paradrive_optimizer::TemplateSpec;
+use paradrive_weyl::WeylPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_hull_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts: Vec<[f64; 3]> = (0..500)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]
+        })
+        .collect();
+    c.bench_function("hull/build_500pts", |b| {
+        b.iter(|| ConvexRegion::from_points(black_box(&pts), 1e-9))
+    });
+    let region = ConvexRegion::from_points(&pts, 1e-9);
+    c.bench_function("hull/containment_query", |b| {
+        b.iter(|| region.contains(black_box([0.5, 0.5, 0.5]), 1e-9))
+    });
+}
+
+fn bench_coverage_set(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let pts = paradrive_weyl::haar::sample_points(400, &mut rng);
+    c.bench_function("fig4/coverage_set_from_400_haar_points", |b| {
+        b.iter(|| CoverageSet::from_points(black_box(&pts)))
+    });
+}
+
+/// Table IV / Fig. 9: a small parallel-drive stack build.
+fn bench_pd_stack(c: &mut Criterion) {
+    c.bench_function("fig9/pd_stack_small", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            build_stack(
+                "iSWAP+PD",
+                WeylPoint::ISWAP,
+                TemplateSpec::iswap_basis,
+                BuildOptions {
+                    max_k: 1,
+                    samples_per_k: 60,
+                    exterior_restarts: 0,
+                    full_coverage_probe: 0,
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+}
+
+/// Table I / Fig. 4: a small plain stack build.
+fn bench_plain_stack(c: &mut Criterion) {
+    c.bench_function("fig4/plain_stack_small", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            build_stack(
+                "sqrt_iSWAP",
+                WeylPoint::SQRT_ISWAP,
+                |k| TemplateSpec::sqrt_iswap_basis(k).without_parallel_drive(),
+                BuildOptions {
+                    max_k: 2,
+                    samples_per_k: 100,
+                    exterior_restarts: 0,
+                    full_coverage_probe: 0,
+                },
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hull_build, bench_coverage_set, bench_pd_stack, bench_plain_stack
+}
+criterion_main!(benches);

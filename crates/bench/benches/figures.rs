@@ -1,0 +1,100 @@
+//! One Criterion target per figure: regenerates the figure's data series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_hamiltonian::ConversionGain;
+use paradrive_optimizer::{Options, TemplateSpec, TemplateSynthesizer};
+use paradrive_speedlimit::monitor::MonitorQubitModel;
+use paradrive_speedlimit::Characterized;
+use paradrive_weyl::magic::coordinates;
+use paradrive_weyl::trajectory::Trajectory;
+use paradrive_weyl::WeylPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::FRAC_PI_2;
+use std::hint::black_box;
+
+/// Fig. 1 / Fig. 8d: a Cartan trajectory of a sampled pulse.
+fn bench_fig1(c: &mut Criterion) {
+    let us: Vec<_> = (0..=16)
+        .map(|k| ConversionGain::new(FRAC_PI_2, 0.3).unitary(k as f64 / 16.0))
+        .collect();
+    c.bench_function("fig1/cartan_trajectory", |b| {
+        b.iter(|| Trajectory::from_unitaries(black_box(&us)).unwrap())
+    });
+}
+
+/// Fig. 3a: the native conversion/gain sweep.
+fn bench_fig3a(c: &mut Criterion) {
+    c.bench_function("fig3a/native_gate_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..8 {
+                for j in 0..8 {
+                    let tc = FRAC_PI_2 * i as f64 / 7.0;
+                    let tg = FRAC_PI_2 * j as f64 / 7.0;
+                    let u = ConversionGain::new(tc, tg).unitary(1.0);
+                    acc += coordinates(&u).unwrap().c1;
+                }
+            }
+            acc
+        })
+    });
+}
+
+/// Fig. 3c: the monitor-qubit sweep plus boundary fit.
+fn bench_fig3c(c: &mut Criterion) {
+    let model = MonitorQubitModel::new(Characterized::snail(), 0.02, 0.01);
+    c.bench_function("fig3c/monitor_sweep_and_fit", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let grid = model.sweep(16, 24, 20, &mut rng);
+            grid.fit_boundary().unwrap()
+        })
+    });
+}
+
+/// Fig. 7: parallel-driven K=1 sampling.
+fn bench_fig7(c: &mut Criterion) {
+    let spec = TemplateSpec::iswap_basis(1);
+    c.bench_function("fig7/parallel_k1_sampling", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            paradrive_coverage::sampler::sample_template_points(&spec, 50, &mut rng).unwrap()
+        })
+    });
+}
+
+/// Fig. 8: a bounded synthesis run (one restart, capped iterations).
+fn bench_fig8(c: &mut Criterion) {
+    let spec = TemplateSpec::iswap_basis(1);
+    let synth = TemplateSynthesizer::new(spec)
+        .with_restarts(1)
+        .with_options(Options {
+            max_iter: 150,
+            ..Options::default()
+        });
+    c.bench_function("fig8/synthesis_150_steps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            synth.synthesize_to_point(WeylPoint::CNOT, &mut rng).unwrap()
+        })
+    });
+}
+
+/// Fig. 6: one fractional-basis coverage point at a small budget.
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/fractional_point_small", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            paradrive_core::codesign::fractional_iswap_curve(&[0.5], &[0.25], 80, 40, &mut rng)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig3a, bench_fig3c, bench_fig7, bench_fig8, bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-kernels underpinning every experiment: matrix exponentials,
+//! Weyl-coordinate extraction, Haar sampling and simplex steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_linalg::expm::expm;
+use paradrive_linalg::qr::random_unitary;
+use paradrive_linalg::{paulis, C64};
+use paradrive_optimizer::{NelderMead, Options};
+use paradrive_weyl::magic::coordinates;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_expm(c: &mut Criterion) {
+    let h = paulis::xx()
+        .scale(C64::real(0.7))
+        .add(&paulis::yy().scale(C64::real(0.3)))
+        .scale(C64::new(0.0, -1.0));
+    c.bench_function("kernels/expm_4x4", |b| b.iter(|| expm(black_box(&h))));
+}
+
+fn bench_coordinates(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let u = random_unitary(4, &mut rng);
+    c.bench_function("kernels/weyl_coordinates", |b| {
+        b.iter(|| coordinates(black_box(&u)).unwrap())
+    });
+}
+
+fn bench_haar(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("kernels/haar_random_unitary", |b| {
+        b.iter(|| random_unitary(4, &mut rng))
+    });
+}
+
+fn bench_nelder_mead(c: &mut Criterion) {
+    let f = |x: &[f64]| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>();
+    let nm = NelderMead::new(Options {
+        max_iter: 200,
+        ..Options::default()
+    });
+    c.bench_function("kernels/nelder_mead_10d", |b| {
+        b.iter(|| nm.minimize(&f, black_box(&[1.0; 10])))
+    });
+}
+
+criterion_group!(benches, bench_expm, bench_coordinates, bench_haar, bench_nelder_mead);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Transpilation-pipeline benchmarks: the Fig. 3b and Table VII flows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_bench::routed_items;
+use paradrive_circuit::benchmarks;
+use paradrive_core::rules::{BaselineSqrtIswap, ParallelDriveRules};
+use paradrive_transpiler::consolidate::{class_histogram, consolidate};
+use paradrive_transpiler::routing::route;
+use paradrive_transpiler::schedule::schedule;
+use paradrive_transpiler::topology::CouplingMap;
+use paradrive_transpiler::CostModel;
+use paradrive_weyl::WeylPoint;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let map = CouplingMap::grid(4, 4);
+    let qft = benchmarks::qft(16);
+    c.bench_function("table7/route_qft16", |b| {
+        b.iter(|| route(black_box(&qft), &map, 1).unwrap())
+    });
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let map = CouplingMap::grid(4, 4);
+    let routed = route(&benchmarks::qft(16), &map, 1).unwrap();
+    c.bench_function("fig3b/consolidate_qft16", |b| {
+        b.iter(|| consolidate(black_box(&routed.circuit)).unwrap())
+    });
+    let items = consolidate(&routed.circuit).unwrap();
+    c.bench_function("fig3b/class_histogram", |b| {
+        b.iter(|| class_histogram(black_box(&items)))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let items = routed_items(&benchmarks::qft(16), 2);
+    // Warm the lazily built stacks.
+    let _ = BaselineSqrtIswap::new(0.25).cost(WeylPoint::new(1.2, 0.6, 0.3));
+    let _ = ParallelDriveRules::new(0.25).cost(WeylPoint::new(1.2, 0.6, 0.3));
+    c.bench_function("table7/schedule_baseline_qft16", |b| {
+        b.iter(|| schedule(black_box(&items), &BaselineSqrtIswap::new(0.25), 16))
+    });
+    c.bench_function("table7/schedule_optimized_qft16", |b| {
+        b.iter(|| schedule(black_box(&items), &ParallelDriveRules::new(0.25), 16))
+    });
+}
+
+fn bench_suite_generation(c: &mut Criterion) {
+    c.bench_function("table7/generate_suite", |b| {
+        b.iter(|| benchmarks::standard_suite(black_box(7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routing, bench_consolidation, bench_schedule, bench_suite_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! One Criterion target per duration/infidelity table: regenerates the
+//! table's data inside the measurement loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_core::flow::gate_infidelities;
+use paradrive_core::rules::{total_duration, BaselineSqrtIswap, ParallelDriveRules};
+use paradrive_core::scoring::{duration_table, paper_lambda};
+use paradrive_coverage::scores::{k_scores, PAPER_LAMBDA};
+use paradrive_speedlimit::StandardSlf;
+use paradrive_transpiler::fidelity::FidelityModel;
+use paradrive_transpiler::CostModel;
+use paradrive_weyl::WeylPoint;
+use std::hint::black_box;
+
+/// Table I: K-score computation against a fixed Haar sample (stack built
+/// once outside the loop; the scored lookup is what the harness reruns).
+fn bench_table1(c: &mut Criterion) {
+    use paradrive_coverage::scores::{build_stack, BuildOptions};
+    use paradrive_optimizer::TemplateSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(1);
+    let stack = build_stack(
+        "sqrt_iSWAP",
+        WeylPoint::SQRT_ISWAP,
+        |k| TemplateSpec::sqrt_iswap_basis(k).without_parallel_drive(),
+        BuildOptions {
+            max_k: 3,
+            samples_per_k: 400,
+            exterior_restarts: 0,
+            full_coverage_probe: 0,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let haar = paradrive_weyl::haar::sample_points(200, &mut rng);
+    c.bench_function("table1/k_scores_sqrt_iswap", |b| {
+        b.iter(|| k_scores(black_box(&stack), black_box(&haar), PAPER_LAMBDA))
+    });
+}
+
+/// Table II: the full three-SLF duration table.
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2/duration_tables_all_slfs", |b| {
+        b.iter(|| {
+            for slf in StandardSlf::all() {
+                black_box(duration_table(slf.as_slf(), 0.0, paper_lambda()).unwrap());
+            }
+        })
+    });
+}
+
+/// Table III: durations with D[1Q] = 0.25.
+fn bench_table3(c: &mut Criterion) {
+    let slf = paradrive_speedlimit::Linear::normalized();
+    c.bench_function("table3/duration_table_1q_025", |b| {
+        b.iter(|| black_box(duration_table(&slf, 0.25, paper_lambda()).unwrap()))
+    });
+}
+
+/// Table V: optimized cost-model evaluation over named targets.
+fn bench_table5(c: &mut Criterion) {
+    let model = ParallelDriveRules::new(0.25);
+    // Warm the lazily built coverage stacks outside the loop.
+    let _ = model.cost(WeylPoint::new(1.2, 0.6, 0.3));
+    let targets = [
+        WeylPoint::CNOT,
+        WeylPoint::SWAP,
+        WeylPoint::B,
+        WeylPoint::new(1.2, 0.6, 0.3),
+    ];
+    c.bench_function("table5/parallel_drive_costs", |b| {
+        b.iter(|| {
+            targets
+                .iter()
+                .map(|&t| total_duration(model.cost(t), 0.25))
+                .sum::<f64>()
+        })
+    });
+}
+
+/// Table VI: the gate-infidelity table.
+fn bench_table6(c: &mut Criterion) {
+    // Warm the baseline stack too.
+    let _ = BaselineSqrtIswap::new(0.25).cost(WeylPoint::new(1.2, 0.6, 0.3));
+    c.bench_function("table6/gate_infidelities", |b| {
+        b.iter(|| black_box(gate_infidelities(0.25, FidelityModel::paper())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table5,
+    bench_table6
+);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Benchmark-only crate: see `benches/` for the Criterion targets that
+//! regenerate each table and figure of the paper. This library contains
+//! small shared fixtures.
+#![forbid(unsafe_code)]
+
+use paradrive_circuit::Circuit;
+use paradrive_transpiler::consolidate::{consolidate, Item};
+use paradrive_transpiler::routing::route_best_of;
+use paradrive_transpiler::topology::CouplingMap;
+
+/// Routes and consolidates a benchmark circuit on the 4×4 lattice — the
+/// shared front half of the Table VII pipeline.
+pub fn routed_items(circuit: &Circuit, seeds: u64) -> Vec<Item> {
+    let map = CouplingMap::grid(4, 4);
+    let routed = route_best_of(circuit, &map, seeds).expect("routing");
+    consolidate(&routed.circuit).expect("consolidation")
+}

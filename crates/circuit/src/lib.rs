@@ -1,0 +1,60 @@
+//! Quantum circuit IR and benchmark workload generators.
+//!
+//! The IR is deliberately small: a [`Circuit`] is a flat, time-ordered list
+//! of [`Op`]s over `n` qubits — one-qubit gates ([`OneQ`]) and two-qubit
+//! gates ([`TwoQ`]). Every gate knows its exact unitary, so downstream
+//! passes (consolidation, Weyl-coordinate extraction) are exact rather than
+//! symbolic approximations.
+//!
+//! [`benchmarks`] generates the paper's Table VII workload suite at 16
+//! qubits: QFT, QAOA, GHZ, Hidden Linear Function, Adder, Multiplier,
+//! VQE (linear and full entanglement) and Quantum Volume.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_circuit::{Circuit, OneQ, TwoQ};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push_1q(OneQ::H, 0);
+//! c.push_2q(TwoQ::Cx, 0, 1);
+//! assert_eq!(c.two_q_count(), 1);
+//! assert_eq!(c.depth(), 2);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod ir;
+
+pub use ir::{Circuit, OneQ, Op, Qubit, TwoQ};
+
+/// Errors produced when constructing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index at or beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit width.
+        width: usize,
+    },
+    /// A two-qubit gate was applied to the same qubit twice.
+    DuplicateQubit(usize),
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for width {width}")
+            }
+            CircuitError::DuplicateQubit(q) => {
+                write!(f, "two-qubit gate applied twice to qubit {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,270 @@
+//! The end-to-end transpilation comparison (Tables VI and VII).
+//!
+//! Route → consolidate → schedule under the baseline and optimized cost
+//! models → durations and decoherence fidelities. Both models see exactly
+//! the same routed, consolidated circuit, so the comparison isolates the
+//! decomposition rules (as in the paper).
+
+use crate::rules::{BaselineSqrtIswap, ParallelDriveRules};
+use crate::CoreError;
+use paradrive_circuit::benchmarks::{standard_suite, Benchmark};
+use paradrive_circuit::Circuit;
+use paradrive_transpiler::consolidate::{consolidate, lambda_fit, Item};
+use paradrive_transpiler::fidelity::{
+    relative_improvement_pct, relative_reduction_pct, FidelityModel,
+};
+use paradrive_transpiler::routing::route_best_of;
+use paradrive_transpiler::schedule::schedule;
+use paradrive_transpiler::topology::CouplingMap;
+use paradrive_transpiler::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// The transpilation outcome for one benchmark (one Table VII row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Inserted SWAP count (routing diagnostic).
+    pub swaps: usize,
+    /// Number of consolidated 2Q blocks.
+    pub blocks: usize,
+    /// Baseline circuit duration in normalized pulses.
+    pub baseline_duration: f64,
+    /// Optimized (parallel-drive) duration.
+    pub optimized_duration: f64,
+    /// Relative duration reduction, percent.
+    pub duration_reduction_pct: f64,
+    /// Relative per-qubit fidelity improvement, percent.
+    pub fq_improvement_pct: f64,
+    /// Relative total-circuit fidelity improvement, percent.
+    pub ft_improvement_pct: f64,
+}
+
+/// Transpiles one circuit under both cost models.
+///
+/// # Errors
+///
+/// Propagates routing/consolidation failures as [`CoreError::Transpile`].
+pub fn compare_models(
+    name: &str,
+    circuit: &Circuit,
+    map: &CouplingMap,
+    routing_seeds: u64,
+    d_1q: f64,
+    fidelity: FidelityModel,
+) -> Result<BenchmarkResult, CoreError> {
+    let routed = route_best_of(circuit, map, routing_seeds)
+        .map_err(|e| CoreError::Transpile(e.to_string()))?;
+    let items = consolidate(&routed.circuit).map_err(|e| CoreError::Transpile(e.to_string()))?;
+    let blocks = items
+        .iter()
+        .filter(|i| matches!(i, Item::Block { .. }))
+        .count();
+
+    let baseline = BaselineSqrtIswap::new(d_1q);
+    let optimized = ParallelDriveRules::new(d_1q);
+    let n = map.n_qubits();
+    let base = schedule(&items, &baseline, n);
+    let opt = schedule(&items, &optimized, n);
+
+    let fq_base = fidelity.qubit_fidelity(base.duration);
+    let fq_opt = fidelity.qubit_fidelity(opt.duration);
+    let ft_base = fidelity.total_fidelity(base.duration, circuit.n_qubits());
+    let ft_opt = fidelity.total_fidelity(opt.duration, circuit.n_qubits());
+
+    Ok(BenchmarkResult {
+        name: name.to_string(),
+        swaps: routed.swaps_inserted,
+        blocks,
+        baseline_duration: base.duration,
+        optimized_duration: opt.duration,
+        duration_reduction_pct: relative_reduction_pct(base.duration, opt.duration),
+        fq_improvement_pct: relative_improvement_pct(fq_base, fq_opt),
+        ft_improvement_pct: relative_improvement_pct(ft_base, ft_opt),
+    })
+}
+
+/// Runs the full Table VII study: the standard 16-qubit suite on the 4×4
+/// lattice with best-of-`routing_seeds` routing.
+///
+/// # Errors
+///
+/// Propagates the first benchmark failure.
+pub fn run_suite(
+    workload_seed: u64,
+    routing_seeds: u64,
+    d_1q: f64,
+) -> Result<Vec<BenchmarkResult>, CoreError> {
+    let map = CouplingMap::grid(4, 4);
+    let fidelity = FidelityModel::paper();
+    standard_suite(workload_seed)
+        .into_iter()
+        .map(|Benchmark { name, circuit }| {
+            compare_models(name, &circuit, &map, routing_seeds, d_1q, fidelity)
+        })
+        .collect()
+}
+
+/// Average duration reduction across suite results (the paper's headline
+/// 17.8% number).
+pub fn average_reduction_pct(results: &[BenchmarkResult]) -> f64 {
+    if results.is_empty() {
+        return f64::NAN;
+    }
+    results
+        .iter()
+        .map(|r| r.duration_reduction_pct)
+        .sum::<f64>()
+        / results.len() as f64
+}
+
+/// Fits λ (CNOT share of CNOT+SWAP blocks) over the routed suite — the
+/// paper's Fig. 3b / Eq. 6 fit that yields λ ≈ 0.47.
+///
+/// # Errors
+///
+/// Propagates routing/consolidation failures.
+pub fn fit_lambda_over_suite(workload_seed: u64, routing_seeds: u64) -> Result<f64, CoreError> {
+    let map = CouplingMap::grid(4, 4);
+    let mut cnot_weight = 0.0;
+    let mut total_weight = 0.0;
+    for Benchmark { circuit, .. } in standard_suite(workload_seed) {
+        let routed = route_best_of(&circuit, &map, routing_seeds)
+            .map_err(|e| CoreError::Transpile(e.to_string()))?;
+        let items =
+            consolidate(&routed.circuit).map_err(|e| CoreError::Transpile(e.to_string()))?;
+        if let Some(lambda) = lambda_fit(&items) {
+            // Weight by the number of CNOT+SWAP blocks in this workload.
+            let hist = paradrive_transpiler::consolidate::class_histogram(&items);
+            let w: usize = hist
+                .iter()
+                .filter(|(n, _)| n == "CNOT" || n == "SWAP")
+                .map(|(_, c)| *c)
+                .sum();
+            cnot_weight += lambda * w as f64;
+            total_weight += w as f64;
+        }
+    }
+    if total_weight == 0.0 {
+        return Err(CoreError::Transpile("no CNOT/SWAP blocks found".into()));
+    }
+    Ok(cnot_weight / total_weight)
+}
+
+/// One Table VI row: gate infidelity baseline vs optimized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InfidelityRow {
+    /// Target name.
+    pub target: String,
+    /// Baseline infidelity `1 − F`.
+    pub baseline: f64,
+    /// Optimized infidelity.
+    pub optimized: f64,
+    /// Relative improvement, percent.
+    pub improved_pct: f64,
+}
+
+/// Computes Table VI: two-qubit gate infidelities under the decoherence
+/// model (both qubit wires decay for the gate's duration).
+pub fn gate_infidelities(d_1q: f64, fidelity: FidelityModel) -> Vec<InfidelityRow> {
+    use crate::rules::total_duration;
+    use paradrive_weyl::WeylPoint;
+    let baseline = BaselineSqrtIswap::new(d_1q);
+    let optimized = ParallelDriveRules::new(d_1q);
+    // E[Haar] and W(λ) rows use the paper's expected-K values on the
+    // baseline and the Table V references on the optimized side; CNOT and
+    // SWAP are exact model outputs.
+    let two_q_inf = |d: f64| 1.0 - fidelity.total_fidelity(d, 2);
+    let mut rows = Vec::new();
+    for (name, point) in [("CNOT", WeylPoint::CNOT), ("SWAP", WeylPoint::SWAP)] {
+        let b = total_duration(baseline.cost(point), d_1q);
+        let o = total_duration(optimized.cost(point), d_1q);
+        rows.push(InfidelityRow {
+            target: name.to_string(),
+            baseline: two_q_inf(b),
+            optimized: two_q_inf(o),
+            improved_pct: relative_reduction_pct(two_q_inf(b), two_q_inf(o)),
+        });
+    }
+    // E[Haar]: baseline E[D] = 2.21·0.5 + 3.21·D[1Q] (Table III: 1.91 at
+    // 0.25). Optimized: the joint parallel-drive templates keep the same 2Q
+    // time but absorb interior layers — the Table V fit 1.085 + 2.5·D[1Q]
+    // reproduces 1.71 at D[1Q] = 0.25.
+    let haar_b = two_q_inf(0.5 * 2.21 + 3.21 * d_1q);
+    let haar_o = two_q_inf(1.085 + 2.5 * d_1q);
+    rows.push(InfidelityRow {
+        target: "E[Haar]".to_string(),
+        baseline: haar_b,
+        optimized: haar_o,
+        improved_pct: relative_reduction_pct(haar_b, haar_o),
+    });
+    let lambda = paradrive_coverage::PAPER_LAMBDA;
+    let w_b = lambda * two_q_inf(total_duration(baseline.cost(WeylPoint::CNOT), d_1q))
+        + (1.0 - lambda) * two_q_inf(total_duration(baseline.cost(WeylPoint::SWAP), d_1q));
+    let w_o = lambda * two_q_inf(total_duration(optimized.cost(WeylPoint::CNOT), d_1q))
+        + (1.0 - lambda) * two_q_inf(total_duration(optimized.cost(WeylPoint::SWAP), d_1q));
+    rows.push(InfidelityRow {
+        target: "W(0.47)".to_string(),
+        baseline: w_b,
+        optimized: w_o,
+        improved_pct: relative_reduction_pct(w_b, w_o),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_circuit::benchmarks;
+
+    #[test]
+    fn ghz_improves_under_parallel_drive() {
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::ghz(16);
+        let r = compare_models("GHZ", &c, &map, 3, 0.25, FidelityModel::paper()).unwrap();
+        assert!(r.optimized_duration < r.baseline_duration);
+        assert!(r.duration_reduction_pct > 5.0, "{r:?}");
+        assert!(r.ft_improvement_pct > 0.0);
+    }
+
+    #[test]
+    fn qft_improves_substantially() {
+        // QFT is full of small controlled phases — fractional parallel-drive
+        // pulses shine here.
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::qft(16);
+        let r = compare_models("QFT", &c, &map, 3, 0.25, FidelityModel::paper()).unwrap();
+        assert!(
+            r.duration_reduction_pct > 10.0,
+            "reduction {}",
+            r.duration_reduction_pct
+        );
+    }
+
+    #[test]
+    fn table6_values_match_paper() {
+        let rows = gate_infidelities(0.25, FidelityModel::paper());
+        let get = |n: &str| rows.iter().find(|r| r.target == n).unwrap();
+        let cnot = get("CNOT");
+        assert!((cnot.baseline - 0.0035).abs() < 2e-4, "{}", cnot.baseline);
+        assert!((cnot.optimized - 0.0030).abs() < 2e-4);
+        assert!((cnot.improved_pct - 14.3).abs() < 2.0);
+        let swap = get("SWAP");
+        assert!((swap.baseline - 0.0050).abs() < 2e-4);
+        assert!((swap.optimized - 0.0045).abs() < 2e-4);
+        let haar = get("E[Haar]");
+        assert!((haar.baseline - 0.0038).abs() < 2e-4);
+        assert!((haar.optimized - 0.0034).abs() < 2e-4);
+    }
+
+    #[test]
+    fn lambda_fit_is_near_half() {
+        // The paper fits λ ≈ 0.47 from its workloads; our router/suite
+        // should land in the same neighbourhood.
+        let lambda = fit_lambda_over_suite(7, 2).unwrap();
+        assert!(
+            (0.25..0.75).contains(&lambda),
+            "λ = {lambda} far from the paper's 0.47"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Decomposition cost models: the baseline analytic √iSWAP flow and the
+//! parallel-drive optimized rules (Section IV, Figs. 10–12, Table V).
+//!
+//! Both models implement [`CostModel`] so the transpiler can schedule the
+//! same consolidated circuit under either and compare (Table VII).
+//!
+//! Costs are expressed in normalized iSWAP-pulse units (`D[iSWAP] = 1`),
+//! assuming the linear speed limit of the paper's evaluation section, i.e.
+//! `D[√iSWAP] = 0.5`.
+
+use paradrive_coverage::scores::{build_stack, BuildOptions};
+use paradrive_coverage::CoverageStack;
+use paradrive_optimizer::TemplateSpec;
+use paradrive_transpiler::{CostModel, GateCost};
+use paradrive_weyl::WeylPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::FRAC_PI_2;
+use std::sync::OnceLock;
+
+const CLASS_TOL: f64 = 1e-6;
+
+/// True for base-plane CNOT-family points `(θ, 0, 0)`.
+pub fn is_cnot_family(p: WeylPoint) -> bool {
+    p.c2.abs() < CLASS_TOL && p.c3.abs() < CLASS_TOL
+}
+
+/// True for base-plane iSWAP-family points `(θ, θ, 0)`.
+pub fn is_iswap_family(p: WeylPoint) -> bool {
+    (p.c1 - p.c2).abs() < CLASS_TOL && p.c3.abs() < CLASS_TOL && p.c1 > CLASS_TOL
+}
+
+/// True for the identity class.
+pub fn is_identity(p: WeylPoint) -> bool {
+    p.chamber_dist(WeylPoint::IDENTITY) < CLASS_TOL
+}
+
+/// True for the SWAP class.
+pub fn is_swap(p: WeylPoint) -> bool {
+    p.chamber_dist(WeylPoint::SWAP) < CLASS_TOL
+}
+
+fn baseline_stack() -> &'static CoverageStack {
+    static STACK: OnceLock<CoverageStack> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5157_1547);
+        build_stack(
+            "sqrt_iSWAP",
+            WeylPoint::SQRT_ISWAP,
+            |k| TemplateSpec::sqrt_iswap_basis(k).without_parallel_drive(),
+            BuildOptions {
+                max_k: 3,
+                samples_per_k: 1600,
+                exterior_restarts: 4,
+                full_coverage_probe: 0,
+            },
+            &mut rng,
+        )
+        .expect("baseline stack construction cannot fail")
+    })
+}
+
+fn iswap_pd_stack() -> &'static CoverageStack {
+    static STACK: OnceLock<CoverageStack> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x1547_9d00);
+        build_stack(
+            "iSWAP+PD",
+            WeylPoint::ISWAP,
+            TemplateSpec::iswap_basis,
+            BuildOptions {
+                max_k: 2,
+                samples_per_k: 1200,
+                exterior_restarts: 4,
+                full_coverage_probe: 0,
+            },
+            &mut rng,
+        )
+        .expect("iSWAP PD stack construction cannot fail")
+    })
+}
+
+fn sqrt_pd_stack() -> &'static CoverageStack {
+    static STACK: OnceLock<CoverageStack> = OnceLock::new();
+    STACK.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5153_9d00);
+        build_stack(
+            "sqrt_iSWAP+PD",
+            WeylPoint::SQRT_ISWAP,
+            TemplateSpec::sqrt_iswap_basis,
+            BuildOptions {
+                max_k: 3,
+                samples_per_k: 1200,
+                exterior_restarts: 4,
+                full_coverage_probe: 0,
+            },
+            &mut rng,
+        )
+        .expect("√iSWAP PD stack construction cannot fail")
+    })
+}
+
+/// The baseline: analytic √iSWAP decomposition without parallel drive
+/// (the previously derived rules the paper compares against, Huang et al.).
+///
+/// Known classes get their analytic `K`; everything else queries the
+/// Monte-Carlo coverage stack (K = 2 where covered, else the universal
+/// K = 3).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineSqrtIswap {
+    d_1q: f64,
+}
+
+impl BaselineSqrtIswap {
+    /// Creates the model with the given 1Q layer duration (the paper's
+    /// evaluation uses `0.25`).
+    pub fn new(d_1q: f64) -> Self {
+        BaselineSqrtIswap { d_1q }
+    }
+
+    fn k_of(&self, target: WeylPoint) -> usize {
+        if target.chamber_dist(WeylPoint::SQRT_ISWAP) < CLASS_TOL {
+            return 1;
+        }
+        if is_cnot_family(target) || is_iswap_family(target) {
+            return 2;
+        }
+        if is_swap(target) {
+            return 3;
+        }
+        baseline_stack()
+            .min_k(target, paradrive_coverage::scores::CONTAINMENT_TOL)
+            .unwrap_or(3)
+            .min(3)
+    }
+}
+
+impl CostModel for BaselineSqrtIswap {
+    fn cost(&self, target: WeylPoint) -> GateCost {
+        if is_identity(target) {
+            return GateCost {
+                two_q_time: 0.0,
+                one_q_layers: 0,
+            };
+        }
+        let k = self.k_of(target);
+        GateCost {
+            two_q_time: k as f64 * 0.5,
+            one_q_layers: k + 1,
+        }
+    }
+
+    fn d_1q(&self) -> f64 {
+        self.d_1q
+    }
+
+    fn name(&self) -> &str {
+        "baseline-sqrt-iswap"
+    }
+}
+
+/// The optimized parallel-drive rules (Figs. 10–12):
+///
+/// - CNOT-family targets ride a fractional parallel-driven iSWAP pulse of
+///   matching duration with no interior 1Q layers (Fig. 10 / Fig. 12),
+/// - iSWAP-family targets are direct fractional pulses,
+/// - SWAP uses the Fig. 11 template (1.5 pulses, one interior layer),
+/// - everything else takes the cheapest covering template from the joint
+///   parallel-driven iSWAP / √iSWAP stacks.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelDriveRules {
+    d_1q: f64,
+}
+
+impl ParallelDriveRules {
+    /// Creates the model with the given 1Q layer duration.
+    pub fn new(d_1q: f64) -> Self {
+        ParallelDriveRules { d_1q }
+    }
+}
+
+impl CostModel for ParallelDriveRules {
+    fn cost(&self, target: WeylPoint) -> GateCost {
+        if is_identity(target) {
+            return GateCost {
+                two_q_time: 0.0,
+                one_q_layers: 0,
+            };
+        }
+        // Fractional families: the 2Q time is bounded below by the
+        // computational invariant (1 full pulse for CNOT, 1.5 for SWAP) and
+        // parallel drive removes all interior steering.
+        if is_cnot_family(target) || is_iswap_family(target) {
+            return GateCost {
+                two_q_time: (target.c1 / FRAC_PI_2).min(1.0),
+                one_q_layers: 2,
+            };
+        }
+        if is_swap(target) {
+            return GateCost {
+                two_q_time: 1.5,
+                one_q_layers: 3,
+            };
+        }
+        // Joint stacks: cheapest covering template.
+        let tol = paradrive_coverage::scores::CONTAINMENT_TOL;
+        let mut best = GateCost {
+            two_q_time: 1.5,
+            one_q_layers: 4,
+        }; // universal fallback: K = 3 √iSWAP
+        let mut best_d = best.two_q_time + best.one_q_layers as f64 * self.d_1q;
+        let candidates = [
+            (iswap_pd_stack(), 1.0_f64),
+            (sqrt_pd_stack(), 0.5_f64),
+        ];
+        for (stack, t_basis) in candidates {
+            if let Some(k) = stack.min_k(target, tol) {
+                let cost = GateCost {
+                    two_q_time: k as f64 * t_basis,
+                    one_q_layers: k + 1,
+                };
+                let d = cost.two_q_time + cost.one_q_layers as f64 * self.d_1q;
+                if d < best_d {
+                    best_d = d;
+                    best = cost;
+                }
+            }
+        }
+        best
+    }
+
+    fn d_1q(&self) -> f64 {
+        self.d_1q
+    }
+
+    fn name(&self) -> &str {
+        "parallel-drive"
+    }
+}
+
+/// Total Eq.-7 duration of a cost (2Q time plus 1Q layers).
+pub fn total_duration(cost: GateCost, d_1q: f64) -> f64 {
+    cost.two_q_time + cost.one_q_layers as f64 * d_1q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D1Q: f64 = 0.25;
+
+    #[test]
+    fn class_predicates() {
+        assert!(is_cnot_family(WeylPoint::CNOT));
+        assert!(is_cnot_family(WeylPoint::SQRT_CNOT));
+        assert!(!is_cnot_family(WeylPoint::B));
+        assert!(is_iswap_family(WeylPoint::ISWAP));
+        assert!(is_iswap_family(WeylPoint::SQRT_ISWAP));
+        assert!(!is_iswap_family(WeylPoint::IDENTITY));
+        assert!(is_swap(WeylPoint::SWAP));
+        assert!(is_identity(WeylPoint::IDENTITY));
+    }
+
+    #[test]
+    fn baseline_reference_durations() {
+        // Table III, √iSWAP column (linear SLF, D[1Q] = 0.25):
+        // D[CNOT] = 1.75, D[SWAP] = 2.5.
+        let m = BaselineSqrtIswap::new(D1Q);
+        let cnot = total_duration(m.cost(WeylPoint::CNOT), D1Q);
+        assert!((cnot - 1.75).abs() < 1e-9, "D[CNOT] = {cnot}");
+        let swap = total_duration(m.cost(WeylPoint::SWAP), D1Q);
+        assert!((swap - 2.5).abs() < 1e-9, "D[SWAP] = {swap}");
+        // The basis itself costs one pulse: 0.5 + 2·0.25 = 1.0.
+        let self_cost = total_duration(m.cost(WeylPoint::SQRT_ISWAP), D1Q);
+        assert!((self_cost - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimized_reference_durations() {
+        // Table V (D[1Q] = 0.25): D[CNOT] = 1.5, D[SWAP] = 2.25.
+        let m = ParallelDriveRules::new(D1Q);
+        let cnot = total_duration(m.cost(WeylPoint::CNOT), D1Q);
+        assert!((cnot - 1.5).abs() < 1e-9, "D[CNOT] = {cnot}");
+        let swap = total_duration(m.cost(WeylPoint::SWAP), D1Q);
+        assert!((swap - 2.25).abs() < 1e-9, "D[SWAP] = {swap}");
+    }
+
+    #[test]
+    fn fractional_cnot_family_scales() {
+        // A QFT-style small controlled phase: CAN(π/8, 0, 0) costs a
+        // quarter pulse of 2Q time under parallel drive.
+        let m = ParallelDriveRules::new(D1Q);
+        let p = WeylPoint::new(FRAC_PI_2 / 4.0, 0.0, 0.0);
+        let c = m.cost(p);
+        assert!((c.two_q_time - 0.25).abs() < 1e-9);
+        assert_eq!(c.one_q_layers, 2);
+        // The baseline charges the full 2-application template.
+        let b = BaselineSqrtIswap::new(D1Q).cost(p);
+        assert!((b.two_q_time - 1.0).abs() < 1e-9);
+        assert_eq!(b.one_q_layers, 3);
+    }
+
+    #[test]
+    fn identity_is_free_for_both() {
+        for model in [
+            &BaselineSqrtIswap::new(D1Q) as &dyn CostModel,
+            &ParallelDriveRules::new(D1Q) as &dyn CostModel,
+        ] {
+            let c = model.cost(WeylPoint::IDENTITY);
+            assert_eq!(c.two_q_time, 0.0);
+            assert_eq!(c.one_q_layers, 0);
+        }
+    }
+
+    #[test]
+    fn optimized_never_slower_on_named_gates() {
+        let b = BaselineSqrtIswap::new(D1Q);
+        let o = ParallelDriveRules::new(D1Q);
+        for p in [
+            WeylPoint::CNOT,
+            WeylPoint::SQRT_CNOT,
+            WeylPoint::ISWAP,
+            WeylPoint::SQRT_ISWAP,
+            WeylPoint::SWAP,
+        ] {
+            let bd = total_duration(b.cost(p), D1Q);
+            let od = total_duration(o.cost(p), D1Q);
+            assert!(od <= bd + 1e-9, "{p}: optimized {od} > baseline {bd}");
+        }
+    }
+
+    #[test]
+    fn general_target_costs_are_bounded() {
+        // Haar-ish interior point must cost at most the universal fallback.
+        let m = ParallelDriveRules::new(D1Q);
+        let p = WeylPoint::new(1.2, 0.6, 0.3);
+        let d = total_duration(m.cost(p), D1Q);
+        assert!(d <= 2.5 + 1e-9, "cost {d}");
+        assert!(d >= 1.0, "cost {d} suspiciously cheap");
+    }
+}

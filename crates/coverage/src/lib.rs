@@ -1,0 +1,63 @@
+//! Coverage sets for two-qubit decomposition templates.
+//!
+//! A *basis template* is `K` applications of a basis gate interleaved with
+//! free 1Q gates (and, with parallel drive, free pump phases and 1Q drive
+//! envelopes). Its **coverage set** is the region of the Weyl chamber it
+//! spans: every target inside decomposes with `K` applications. This crate
+//! implements the paper's Algorithm 2 — Monte-Carlo sampling plus exterior
+//! -point optimization plus convex hulls (split at `c1 = π/2`) — and the
+//! score functions built on top:
+//!
+//! - [`scores::k_scores`] — `K[CNOT]`, `K[SWAP]`, `E[K[Haar]]`, `K[W(λ)]`
+//!   (Tables I and IV),
+//! - [`scores::d_scores`] — speed-limit-scaled durations via Eq. 7
+//!   (Tables II, III and V),
+//! - [`region::CoverageSet::chamber_fraction`] — the coverage volumes of
+//!   Figs. 4 and 9.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_coverage::region::CoverageSet;
+//! use paradrive_weyl::WeylPoint;
+//!
+//! // The base-plane triangle I–CNOT–iSWAP (what K=2 iSWAP spans).
+//! let set = CoverageSet::from_points(&[
+//!     WeylPoint::IDENTITY,
+//!     WeylPoint::CNOT,
+//!     WeylPoint::ISWAP,
+//! ]);
+//! assert!(set.contains(WeylPoint::SQRT_ISWAP, 1e-6));
+//! assert!(!set.contains(WeylPoint::SWAP, 1e-3));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hull;
+pub mod region;
+pub mod sampler;
+pub mod scores;
+
+pub use region::{CoverageSet, CoverageStack, CHAMBER_VOLUME};
+pub use scores::{BuildOptions, DScores, KScores, PAPER_LAMBDA};
+
+/// Errors produced while building coverage sets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoverageError {
+    /// The underlying template could not be evaluated.
+    Template(String),
+    /// A Weyl-chamber computation failed.
+    Weyl(String),
+}
+
+impl std::fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverageError::Template(e) => write!(f, "template evaluation failed: {e}"),
+            CoverageError::Weyl(e) => write!(f, "Weyl computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoverageError {}

@@ -1,0 +1,277 @@
+//! Sampling the Weyl-chamber points reachable by decomposition templates —
+//! the randomized stage of the paper's Algorithm 2.
+
+use crate::CoverageError;
+use paradrive_linalg::paulis;
+use paradrive_linalg::qr::random_su2;
+use paradrive_linalg::CMat;
+use paradrive_optimizer::{TemplateSpec, TemplateSynthesizer};
+use paradrive_weyl::magic::coordinates;
+use paradrive_weyl::WeylPoint;
+use rand::Rng;
+
+/// The exterior targets the paper optimizes towards when bounding coverage
+/// regions: gates unlikely to be hit by random sampling because they sit at
+/// chamber vertices.
+pub const EXTERIOR_TARGETS: [(&str, WeylPoint); 4] = [
+    ("I", WeylPoint::IDENTITY),
+    ("CNOT", WeylPoint::CNOT),
+    ("iSWAP", WeylPoint::ISWAP),
+    ("SWAP", WeylPoint::SWAP),
+];
+
+/// Samples coverage points for a template by randomizing its free
+/// parameters.
+///
+/// - With parallel drive: random pump phases and 1Q drive envelopes via
+///   [`TemplateSpec::evaluate`].
+/// - Without parallel drive: the basis pulse interleaved with Haar-random
+///   local gates (pump phases are absorbed by locals and add nothing).
+///
+/// # Errors
+///
+/// Returns [`CoverageError`] if the template is degenerate or a coordinate
+/// extraction fails.
+pub fn sample_template_points<R: Rng + ?Sized>(
+    spec: &TemplateSpec,
+    n: usize,
+    rng: &mut R,
+) -> Result<Vec<WeylPoint>, CoverageError> {
+    let mut pts = Vec::with_capacity(n + 2);
+    if spec.parallel_drive {
+        for _ in 0..n {
+            let params = spec.random_params(rng);
+            let u = spec
+                .evaluate(&params)
+                .map_err(|e| CoverageError::Template(e.to_string()))?;
+            pts.push(coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?);
+        }
+        // ε = 0 is a legal parallel-drive setting, so the plain template's
+        // cloud is a subset of the PD coverage — sample it too (it reaches
+        // corner classes like SWAP that random ε draws almost never hit).
+        let plain = spec.without_parallel_drive();
+        pts.extend(sample_template_points(&plain, n / 2, rng)?);
+    } else {
+        let basis = basis_unitary(spec)?;
+        for _ in 0..n {
+            let u = interleaved_product(&basis, spec.k, rng);
+            pts.push(coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?);
+        }
+        // Clifford-interleave seeds: random Haar interleaves almost never
+        // land exactly on chamber corners (SWAP, CNOT, I), but products with
+        // Clifford 1Q layers do. A modest extra batch sharpens the hulls.
+        let dict = clifford_dictionary();
+        for _ in 0..(n / 3).max(8) {
+            let mut u = basis.clone();
+            for _ in 1..spec.k {
+                let l = &dict[rng.gen_range(0..dict.len())];
+                u = basis.mul(l).mul(&u);
+            }
+            pts.push(coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?);
+        }
+        // Structured alternating patterns [d1, d2, d1, …] hit textbook
+        // compositions exactly, e.g. SWAP = CX·(H⊗H)·CX·(H⊗H)·CX realized
+        // at K = 6 of √CNOT with the pattern [I, H⊗H, I, H⊗H, I].
+        if spec.k >= 2 {
+            for d1 in &dict {
+                for d2 in &dict {
+                    let mut u = basis.clone();
+                    for slot in 1..spec.k {
+                        let l = if slot % 2 == 1 { d1 } else { d2 };
+                        u = basis.mul(l).mul(&u);
+                    }
+                    pts.push(
+                        coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?,
+                    );
+                }
+            }
+        }
+    }
+    // Deterministic seeds: the bare K-fold product (all interleaves set to
+    // the identity) pins the "straight line" extremity of the region, and
+    // the basis point itself pins K = 1 behaviour.
+    let basis = basis_unitary(spec)?;
+    let mut u = CMat::identity(4);
+    for _ in 0..spec.k {
+        u = basis.mul(&u);
+    }
+    pts.push(coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?);
+    Ok(pts)
+}
+
+/// The plain (no parallel drive, zero phases) basis pulse of a template.
+fn basis_unitary(spec: &TemplateSpec) -> Result<CMat, CoverageError> {
+    use paradrive_hamiltonian::ConversionGain;
+    let drive = ConversionGain::try_new(spec.gc, spec.gg, 0.0, 0.0)
+        .map_err(|e| CoverageError::Template(e.to_string()))?;
+    Ok(drive.unitary(spec.total_time))
+}
+
+/// A small dictionary of 1Q⊗1Q Clifford layers used to seed hull corners.
+fn clifford_dictionary() -> Vec<CMat> {
+    let h = paulis::h();
+    let x = paulis::x();
+    let s = paulis::s();
+    let i = paulis::i2();
+    let hs = h.mul(&s);
+    let sh = s.mul(&h);
+    vec![
+        paulis::tensor(&i, &i),
+        paulis::tensor(&h, &h),
+        paulis::tensor(&h, &i),
+        paulis::tensor(&i, &h),
+        paulis::tensor(&x, &i),
+        paulis::tensor(&i, &x),
+        paulis::tensor(&x, &x),
+        paulis::tensor(&s, &s),
+        paulis::tensor(&hs, &hs),
+        paulis::tensor(&sh, &sh),
+        paulis::tensor(&hs, &sh),
+    ]
+}
+
+/// `K` applications of `basis` interleaved with Haar-random local gates.
+fn interleaved_product<R: Rng + ?Sized>(basis: &CMat, k: usize, rng: &mut R) -> CMat {
+    let mut u = basis.clone();
+    for _ in 1..k {
+        let local = paulis::tensor(&random_su2(rng), &random_su2(rng));
+        u = basis.mul(&local).mul(&u);
+    }
+    u
+}
+
+/// The outcome of querying one exterior target for one template size.
+#[derive(Debug, Clone)]
+pub struct ExteriorQuery {
+    /// Target name (one of [`EXTERIOR_TARGETS`]).
+    pub target: String,
+    /// Whether the optimizer converged onto the target class.
+    pub reachable: bool,
+    /// The best point found (the converged coordinate when `reachable`).
+    pub best_point: WeylPoint,
+    /// Final invariant loss.
+    pub loss: f64,
+}
+
+/// Runs the paper's exterior-point optimization: for each target in
+/// [`EXTERIOR_TARGETS`], drive the template onto the target class and record
+/// whether it is reachable. Converged coordinates should be appended to the
+/// coverage cloud before hull construction.
+///
+/// `restarts` bounds the optimizer effort per target.
+pub fn exterior_queries<R: Rng + ?Sized>(
+    spec: &TemplateSpec,
+    restarts: usize,
+    rng: &mut R,
+) -> Vec<ExteriorQuery> {
+    EXTERIOR_TARGETS
+        .iter()
+        .map(|(name, target)| {
+            // Parallel-driven templates have far more free parameters;
+            // give the simplex a correspondingly larger iteration budget.
+            let options = paradrive_optimizer::Options {
+                max_iter: if spec.parallel_drive { 4000 } else { 1500 },
+                ..paradrive_optimizer::Options::default()
+            };
+            let synth = TemplateSynthesizer::new(*spec)
+                .with_options(options)
+                .with_restarts(restarts)
+                .with_tolerance(1e-8);
+            match synth.synthesize_to_point(*target, rng) {
+                Ok(out) => ExteriorQuery {
+                    target: (*name).to_string(),
+                    reachable: out.converged,
+                    best_point: out.point,
+                    loss: out.loss,
+                },
+                Err(_) => ExteriorQuery {
+                    target: (*name).to_string(),
+                    reachable: false,
+                    best_point: WeylPoint::IDENTITY,
+                    loss: f64::MAX,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn k1_plain_template_is_single_point() {
+        let spec = TemplateSpec::iswap_basis(1).without_parallel_drive();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = sample_template_points(&spec, 20, &mut rng).unwrap();
+        for p in &pts {
+            assert!(
+                p.chamber_dist(WeylPoint::ISWAP) < 1e-6,
+                "K=1 iSWAP template wandered to {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn k2_plain_iswap_fills_base_plane() {
+        let spec = TemplateSpec::iswap_basis(2).without_parallel_drive();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = sample_template_points(&spec, 60, &mut rng).unwrap();
+        // All points on the base plane...
+        for p in &pts {
+            assert!(p.c3.abs() < 1e-6, "left base plane: {p}");
+        }
+        // ...and they spread over it (c1 varies substantially).
+        let c1_min = pts.iter().map(|p| p.c1).fold(f64::INFINITY, f64::min);
+        let c1_max = pts.iter().map(|p| p.c1).fold(0.0_f64, f64::max);
+        assert!(c1_max - c1_min > 0.5, "no spread: [{c1_min}, {c1_max}]");
+    }
+
+    #[test]
+    fn k2_plain_sqrt_iswap_leaves_base_plane() {
+        let spec = TemplateSpec::sqrt_iswap_basis(2).without_parallel_drive();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sample_template_points(&spec, 60, &mut rng).unwrap();
+        assert!(
+            pts.iter().any(|p| p.c3 > 0.05),
+            "√iSWAP K=2 should reach 3-d volume"
+        );
+    }
+
+    #[test]
+    fn parallel_k1_iswap_leaves_base_plane() {
+        let spec = TemplateSpec::iswap_basis(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sample_template_points(&spec, 40, &mut rng).unwrap();
+        assert!(
+            pts.iter().any(|p| p.c3 > 0.02),
+            "parallel-driven K=1 iSWAP should have volume"
+        );
+    }
+
+    #[test]
+    fn exterior_query_reports_reachability() {
+        // K=2 plain √iSWAP reaches CNOT but not SWAP.
+        let spec = TemplateSpec::sqrt_iswap_basis(2).without_parallel_drive();
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries = exterior_queries(&spec, 8, &mut rng);
+        let by_name = |n: &str| queries.iter().find(|q| q.target == n).unwrap();
+        assert!(by_name("CNOT").reachable, "CNOT loss {}", by_name("CNOT").loss);
+        assert!(!by_name("SWAP").reachable);
+        assert!(by_name("I").reachable, "I loss {}", by_name("I").loss);
+    }
+
+    #[test]
+    fn deterministic_seed_point_present() {
+        // The bare 2-fold √iSWAP product (= iSWAP) must be in the cloud.
+        let spec = TemplateSpec::sqrt_iswap_basis(2).without_parallel_drive();
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = sample_template_points(&spec, 5, &mut rng).unwrap();
+        assert!(pts
+            .iter()
+            .any(|p| p.chamber_dist(WeylPoint::new(FRAC_PI_2, FRAC_PI_2, 0.0)) < 1e-6));
+    }
+}

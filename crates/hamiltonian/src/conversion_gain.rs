@@ -1,0 +1,329 @@
+//! The constant conversion–gain drive (Eq. 1 / Eq. 2 of the paper).
+
+use crate::DriveError;
+use paradrive_linalg::expm::evolve;
+use paradrive_linalg::{paulis, C64, CMat};
+use paradrive_weyl::WeylPoint;
+
+/// Pulse angles `(θc, θg) = (gc·t, gg·t)` that identify a gate family.
+///
+/// The *family* of a base-plane gate is the ray `gg = β·gc` with
+/// `β = θg/θc`; walking along the ray at the speed-limit boundary changes
+/// the pulse time but not the family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriveAngles {
+    /// Conversion angle `θc = gc·t`.
+    pub theta_c: f64,
+    /// Gain angle `θg = gg·t`.
+    pub theta_g: f64,
+}
+
+impl DriveAngles {
+    /// Creates a pair of pulse angles.
+    pub const fn new(theta_c: f64, theta_g: f64) -> Self {
+        DriveAngles { theta_c, theta_g }
+    }
+
+    /// The drive-ratio `β = θg/θc` (∞ for pure gain).
+    pub fn ratio(self) -> f64 {
+        self.theta_g / self.theta_c
+    }
+
+    /// Total pulse angle `θc + θg` — the color scale of Fig. 3a.
+    pub fn total(self) -> f64 {
+        self.theta_c + self.theta_g
+    }
+
+    /// The base-plane Weyl point these angles produce:
+    /// `(θc + θg, |θc − θg|, 0)`.
+    pub fn weyl_point(self) -> WeylPoint {
+        WeylPoint::new(self.total(), (self.theta_c - self.theta_g).abs(), 0.0)
+    }
+}
+
+/// Converts a base-plane chamber point into the drive angles that natively
+/// produce it: `θc = (c1+c2)/2`, `θg = (c1−c2)/2`.
+///
+/// # Errors
+///
+/// Returns [`DriveError::OffBasePlane`] when `|c3| > 1e-9` — constant
+/// conversion/gain drives cannot leave the chamber floor.
+///
+/// # Example
+///
+/// ```
+/// use paradrive_hamiltonian::angles_for_base_point;
+/// use paradrive_weyl::WeylPoint;
+/// let a = angles_for_base_point(WeylPoint::CNOT).unwrap();
+/// assert!((a.theta_c - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+/// assert!((a.theta_g - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+/// ```
+pub fn angles_for_base_point(p: WeylPoint) -> Result<DriveAngles, DriveError> {
+    if p.c3.abs() > 1e-9 {
+        return Err(DriveError::OffBasePlane(p.c3));
+    }
+    Ok(DriveAngles::new(
+        (p.c1 + p.c2) / 2.0,
+        (p.c1 - p.c2) / 2.0,
+    ))
+}
+
+/// A constant conversion–gain drive configuration.
+///
+/// `gc`, `gg` are the pump-controlled interaction strengths (rad/unit-time)
+/// and `φc`, `φg` the pump phases of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionGain {
+    gc: f64,
+    gg: f64,
+    phi_c: f64,
+    phi_g: f64,
+}
+
+impl ConversionGain {
+    /// Creates a zero-phase conversion–gain drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a strength is negative or non-finite; use
+    /// [`ConversionGain::try_new`] for a fallible constructor.
+    pub fn new(gc: f64, gg: f64) -> Self {
+        Self::try_new(gc, gg, 0.0, 0.0).expect("invalid drive strengths")
+    }
+
+    /// Creates a conversion–gain drive with explicit pump phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::InvalidParameter`] for negative or non-finite
+    /// strengths or non-finite phases.
+    pub fn try_new(gc: f64, gg: f64, phi_c: f64, phi_g: f64) -> Result<Self, DriveError> {
+        if !gc.is_finite() || gc < 0.0 {
+            return Err(DriveError::InvalidParameter("gc", gc));
+        }
+        if !gg.is_finite() || gg < 0.0 {
+            return Err(DriveError::InvalidParameter("gg", gg));
+        }
+        if !phi_c.is_finite() {
+            return Err(DriveError::InvalidParameter("phi_c", phi_c));
+        }
+        if !phi_g.is_finite() {
+            return Err(DriveError::InvalidParameter("phi_g", phi_g));
+        }
+        Ok(ConversionGain {
+            gc,
+            gg,
+            phi_c,
+            phi_g,
+        })
+    }
+
+    /// Creates the drive that realizes the given pulse angles in time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::InvalidParameter`] if `t ≤ 0` or the implied
+    /// strengths are invalid.
+    pub fn for_angles(angles: DriveAngles, t: f64) -> Result<Self, DriveError> {
+        if t <= 0.0 || !t.is_finite() {
+            return Err(DriveError::InvalidParameter("t", t));
+        }
+        Self::try_new(angles.theta_c / t, angles.theta_g / t, 0.0, 0.0)
+    }
+
+    /// Conversion strength `gc`.
+    pub fn gc(&self) -> f64 {
+        self.gc
+    }
+
+    /// Gain strength `gg`.
+    pub fn gg(&self) -> f64 {
+        self.gg
+    }
+
+    /// Conversion pump phase `φc`.
+    pub fn phi_c(&self) -> f64 {
+        self.phi_c
+    }
+
+    /// Gain pump phase `φg`.
+    pub fn phi_g(&self) -> f64 {
+        self.phi_g
+    }
+
+    /// The 4×4 Hamiltonian matrix of Eq. 1 on two-level qubits, in the
+    /// computational basis `{|00⟩, |01⟩, |10⟩, |11⟩}`.
+    pub fn hamiltonian(&self) -> CMat {
+        let a = paulis::sigma_minus().kron(&paulis::i2());
+        let b = paulis::i2().kron(&paulis::sigma_minus());
+        let a_dag = a.adjoint();
+        let b_dag = b.adjoint();
+
+        let conv = a_dag
+            .mul(&b)
+            .scale(C64::cis(self.phi_c))
+            .add(&a.mul(&b_dag).scale(C64::cis(-self.phi_c)))
+            .scale(C64::real(self.gc));
+        let gain = a
+            .mul(&b)
+            .scale(C64::cis(self.phi_g))
+            .add(&a_dag.mul(&b_dag).scale(C64::cis(-self.phi_g)))
+            .scale(C64::real(self.gg));
+        conv.add(&gain)
+    }
+
+    /// Time evolution `U(t) = exp(-i H t)` by matrix exponential.
+    pub fn unitary(&self, t: f64) -> CMat {
+        evolve(&self.hamiltonian(), t)
+    }
+
+    /// The closed-form unitary (the paper's Eq. 2, generalized to nonzero
+    /// pump phases): block rotations on `{|00⟩,|11⟩}` by `θg = gg·t` and on
+    /// `{|01⟩,|10⟩}` by `θc = gc·t`.
+    pub fn closed_form_unitary(&self, t: f64) -> CMat {
+        let theta_c = self.gc * t;
+        let theta_g = self.gg * t;
+        let (cc, sc) = (theta_c.cos(), theta_c.sin());
+        let (cg, sg) = (theta_g.cos(), theta_g.sin());
+        let mi = C64::new(0.0, -1.0);
+        let z = C64::ZERO;
+        // ⟨00|U|11⟩ = -i e^{iφg} sin θg ; ⟨11|U|00⟩ = -i e^{-iφg} sin θg
+        // ⟨01|U|10⟩ = -i e^{-iφc} sin θc ; ⟨10|U|01⟩ = -i e^{iφc} sin θc
+        CMat::from_rows(&[
+            &[C64::real(cg), z, z, mi * C64::cis(self.phi_g) * sg],
+            &[z, C64::real(cc), mi * C64::cis(-self.phi_c) * sc, z],
+            &[z, mi * C64::cis(self.phi_c) * sc, C64::real(cc), z],
+            &[mi * C64::cis(-self.phi_g) * sg, z, z, C64::real(cg)],
+        ])
+    }
+
+    /// The pulse angles accumulated after time `t`.
+    pub fn angles(&self, t: f64) -> DriveAngles {
+        DriveAngles::new(self.gc * t, self.gg * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_weyl::magic::coordinates;
+    use paradrive_weyl::{gates, invariants::locally_equivalent};
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn hamiltonian_is_hermitian() {
+        let h = ConversionGain::try_new(0.7, 0.3, 0.4, -1.1)
+            .unwrap()
+            .hamiltonian();
+        assert!(h.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn closed_form_matches_expm() {
+        for (gc, gg, pc, pg) in [
+            (0.5, 0.0, 0.0, 0.0),
+            (0.0, 0.8, 0.0, 0.0),
+            (0.6, 0.4, 0.0, 0.0),
+            (0.6, 0.4, 1.2, -0.7),
+        ] {
+            let d = ConversionGain::try_new(gc, gg, pc, pg).unwrap();
+            for t in [0.1, 1.0, 2.5] {
+                assert!(
+                    d.unitary(t).approx_eq(&d.closed_form_unitary(t), 1e-10),
+                    "mismatch at gc={gc} gg={gg} φc={pc} φg={pg} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_pulse_is_iswap_family() {
+        // θc = π/2 → iSWAP class (conversion side).
+        let u = ConversionGain::new(FRAC_PI_2, 0.0).unitary(1.0);
+        assert!(locally_equivalent(&u, &gates::iswap(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn gain_pulse_is_also_iswap_family() {
+        // θg = π/2 → iSWAP class (gain side, the "bSWAP").
+        let u = ConversionGain::new(0.0, FRAC_PI_2).unitary(1.0);
+        assert!(locally_equivalent(&u, &gates::iswap(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn balanced_pulse_is_cnot_family() {
+        // θc = θg = π/4 → CNOT class (the paper's Eq. 4).
+        let u = ConversionGain::new(FRAC_PI_4, FRAC_PI_4).unitary(1.0);
+        assert!(locally_equivalent(&u, &gates::cnot(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn b_gate_ratio() {
+        // θc = 3π/8, θg = π/8 → B class (ratio 1:3).
+        let u = ConversionGain::new(3.0 * FRAC_PI_4 / 2.0, FRAC_PI_4 / 2.0).unitary(1.0);
+        assert!(locally_equivalent(&u, &gates::b_gate(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn angles_for_named_points() {
+        let cnot = angles_for_base_point(paradrive_weyl::WeylPoint::CNOT).unwrap();
+        assert!((cnot.ratio() - 1.0).abs() < 1e-12);
+        let b = angles_for_base_point(paradrive_weyl::WeylPoint::B).unwrap();
+        assert!((b.ratio() - 1.0 / 3.0).abs() < 1e-12);
+        let iswap = angles_for_base_point(paradrive_weyl::WeylPoint::ISWAP).unwrap();
+        assert!(iswap.ratio().abs() < 1e-12);
+        assert!((iswap.theta_c - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angles_reject_off_plane() {
+        assert!(matches!(
+            angles_for_base_point(paradrive_weyl::WeylPoint::SWAP),
+            Err(DriveError::OffBasePlane(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ConversionGain::try_new(-1.0, 0.0, 0.0, 0.0).is_err());
+        assert!(ConversionGain::try_new(0.0, f64::NAN, 0.0, 0.0).is_err());
+        assert!(ConversionGain::for_angles(DriveAngles::new(1.0, 1.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn strength_time_tradeoff() {
+        // Doubling strengths and halving time gives the same unitary.
+        let slow = ConversionGain::new(0.3, 0.2).unitary(2.0);
+        let fast = ConversionGain::new(0.6, 0.4).unitary(1.0);
+        assert!(slow.approx_eq(&fast, 1e-10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_base_plane_coordinates(
+            theta_c in 0.0..FRAC_PI_2,
+            theta_g in 0.0..FRAC_PI_2,
+        ) {
+            // Constant drives land at canonical (θc+θg, |θc−θg|, 0) —
+            // possibly folded when θc+θg > π/2... the fold keeps c1 ≥ c2.
+            let d = ConversionGain::new(theta_c, theta_g);
+            let u = d.unitary(1.0);
+            let p = coordinates(&u).unwrap();
+            prop_assert!(p.c3.abs() < 1e-7, "left base plane: {}", p);
+            let expected = DriveAngles::new(theta_c, theta_g).weyl_point();
+            let canonical = paradrive_weyl::magic::canonicalize(expected).unwrap();
+            prop_assert!(
+                p.approx_eq(canonical, 1e-6),
+                "drive ({theta_c},{theta_g}) → {} ≠ {}", p, canonical
+            );
+        }
+
+        #[test]
+        fn prop_unitarity(gc in 0.0..2.0f64, gg in 0.0..2.0f64, t in 0.01..3.0f64) {
+            let u = ConversionGain::new(gc, gg).unitary(t);
+            prop_assert!(u.is_unitary(1e-9));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Conversion–gain coupler Hamiltonians and parallel-driven evolution.
+//!
+//! A parametrically driven modulator (e.g. a SNAIL coupler) realizes the
+//! two-body Hamiltonian of the paper's Eq. 1:
+//!
+//! ```text
+//! H = gc (e^{iφc} a†b + e^{-iφc} a b†)   — photon exchange / conversion
+//!   + gg (e^{iφg} a b  + e^{-iφg} a†b†)  — two-mode squeezing / gain
+//! ```
+//!
+//! On two-level qubits, conversion generates the `(XX+YY)/2` interaction and
+//! gain the `(XX−YY)/2` interaction, so constant drives sweep the entire
+//! base plane of the Weyl chamber (Fig. 3a). The *parallel-drive* extension
+//! (Eq. 9) adds piecewise-constant single-qubit X drives `ε1(t), ε2(t)`
+//! during the two-qubit pulse, which bends the Cartan trajectory off the
+//! base plane (Fig. 7) and lets interleaved 1Q gates be absorbed into the 2Q
+//! operation.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_hamiltonian::ConversionGain;
+//! use paradrive_weyl::{magic::coordinates, WeylPoint};
+//! use std::f64::consts::FRAC_PI_2;
+//!
+//! // A conversion-only pulse of angle θc = π/2 is an iSWAP.
+//! let drive = ConversionGain::new(FRAC_PI_2, 0.0);
+//! let u = drive.unitary(1.0);
+//! assert!(coordinates(&u).unwrap().approx_eq(WeylPoint::ISWAP, 1e-9));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conversion_gain;
+mod parallel;
+
+pub use conversion_gain::{angles_for_base_point, ConversionGain, DriveAngles};
+pub use parallel::{ParallelDrive, ParallelDriveBuilder, Segment};
+
+/// Errors produced when constructing or evolving drive Hamiltonians.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DriveError {
+    /// A drive strength or duration was negative or non-finite.
+    InvalidParameter(&'static str, f64),
+    /// A parallel drive was configured with zero time segments.
+    EmptySegments,
+    /// The requested target point lies off the base plane and cannot be
+    /// produced by constant conversion/gain driving alone.
+    OffBasePlane(f64),
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::InvalidParameter(name, v) => {
+                write!(f, "drive parameter `{name}` is invalid: {v}")
+            }
+            DriveError::EmptySegments => write!(f, "parallel drive requires at least one segment"),
+            DriveError::OffBasePlane(c3) => write!(
+                f,
+                "target has c3 = {c3:.4} ≠ 0; constant conversion/gain drives only reach the base plane"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}

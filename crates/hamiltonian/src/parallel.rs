@@ -1,0 +1,298 @@
+//! Parallel-driven evolution (the paper's Eq. 9).
+//!
+//! While the modulator pumps the two-qubit conversion/gain interaction, the
+//! qubits themselves are driven with piecewise-constant X amplitudes
+//! `ε1(t), ε2(t)`. Each time step evolves under
+//!
+//! ```text
+//! H_k = H_conversion-gain + ε1[k]·(X⊗I) + ε2[k]·(I⊗X)
+//! ```
+//!
+//! and the gate is the time-ordered product of the segment exponentials.
+//! Four segments (`D[1Q] = 0.25` per full pulse) match the paper's choice.
+
+use crate::conversion_gain::ConversionGain;
+use crate::DriveError;
+use paradrive_linalg::expm::evolve;
+use paradrive_linalg::{paulis, C64, CMat};
+
+/// One piecewise-constant segment of the parallel 1Q drives.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Segment {
+    /// X-drive amplitude on the first qubit during this segment.
+    pub eps1: f64,
+    /// X-drive amplitude on the second qubit during this segment.
+    pub eps2: f64,
+}
+
+impl Segment {
+    /// Creates a segment with the given drive amplitudes.
+    pub const fn new(eps1: f64, eps2: f64) -> Self {
+        Segment { eps1, eps2 }
+    }
+}
+
+/// A parallel-driven two-qubit pulse: a conversion–gain drive plus
+/// piecewise-constant single-qubit X drives over a total pulse time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelDrive {
+    base: ConversionGain,
+    segments: Vec<Segment>,
+    total_time: f64,
+}
+
+impl ParallelDrive {
+    /// Creates a parallel-driven pulse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriveError::EmptySegments`] when `segments` is empty and
+    /// [`DriveError::InvalidParameter`] for a non-positive total time or a
+    /// non-finite drive amplitude.
+    pub fn new(
+        base: ConversionGain,
+        segments: Vec<Segment>,
+        total_time: f64,
+    ) -> Result<Self, DriveError> {
+        if segments.is_empty() {
+            return Err(DriveError::EmptySegments);
+        }
+        if total_time <= 0.0 || !total_time.is_finite() {
+            return Err(DriveError::InvalidParameter("total_time", total_time));
+        }
+        for s in &segments {
+            if !s.eps1.is_finite() {
+                return Err(DriveError::InvalidParameter("eps1", s.eps1));
+            }
+            if !s.eps2.is_finite() {
+                return Err(DriveError::InvalidParameter("eps2", s.eps2));
+            }
+        }
+        Ok(ParallelDrive {
+            base,
+            segments,
+            total_time,
+        })
+    }
+
+    /// The underlying conversion–gain drive.
+    pub fn base(&self) -> &ConversionGain {
+        &self.base
+    }
+
+    /// The 1Q drive segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total pulse time.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// The Hamiltonian during segment `k` (Eq. 9 with the segment's
+    /// `ε1, ε2` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn segment_hamiltonian(&self, k: usize) -> CMat {
+        let s = self.segments[k];
+        let x1 = paulis::x().kron(&paulis::i2()).scale(C64::real(s.eps1));
+        let x2 = paulis::i2().kron(&paulis::x()).scale(C64::real(s.eps2));
+        self.base.hamiltonian().add(&x1).add(&x2)
+    }
+
+    /// The full pulse unitary: the time-ordered product of segment
+    /// exponentials, `U = U_{n-1} ··· U_1 U_0`.
+    pub fn unitary(&self) -> CMat {
+        let dt = self.total_time / self.segments.len() as f64;
+        let mut u = CMat::identity(4);
+        for k in 0..self.segments.len() {
+            u = evolve(&self.segment_hamiltonian(k), dt).mul(&u);
+        }
+        u
+    }
+
+    /// Accumulated unitaries at each segment boundary (including the final
+    /// gate) — the sampled Cartan trajectory of the pulse.
+    pub fn accumulate(&self) -> Vec<CMat> {
+        let dt = self.total_time / self.segments.len() as f64;
+        let mut acc = Vec::with_capacity(self.segments.len() + 1);
+        let mut u = CMat::identity(4);
+        acc.push(u.clone());
+        for k in 0..self.segments.len() {
+            u = evolve(&self.segment_hamiltonian(k), dt).mul(&u);
+            acc.push(u.clone());
+        }
+        acc
+    }
+}
+
+/// Builder for [`ParallelDrive`] pulses.
+///
+/// # Example
+///
+/// ```
+/// use paradrive_hamiltonian::{ConversionGain, ParallelDriveBuilder};
+/// use std::f64::consts::FRAC_PI_2;
+///
+/// let pulse = ParallelDriveBuilder::new(ConversionGain::new(FRAC_PI_2, 0.0))
+///     .segment(3.0, 0.0)
+///     .segment(3.0, 0.0)
+///     .segment(3.0, 0.0)
+///     .segment(3.0, 0.0)
+///     .total_time(1.0)
+///     .build()
+///     .unwrap();
+/// assert!(pulse.unitary().is_unitary(1e-10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelDriveBuilder {
+    base: ConversionGain,
+    segments: Vec<Segment>,
+    total_time: f64,
+}
+
+impl ParallelDriveBuilder {
+    /// Starts a builder for the given conversion–gain base drive.
+    pub fn new(base: ConversionGain) -> Self {
+        ParallelDriveBuilder {
+            base,
+            segments: Vec::new(),
+            total_time: 1.0,
+        }
+    }
+
+    /// Appends a segment with the given `(ε1, ε2)` amplitudes.
+    #[must_use]
+    pub fn segment(mut self, eps1: f64, eps2: f64) -> Self {
+        self.segments.push(Segment::new(eps1, eps2));
+        self
+    }
+
+    /// Appends `n` segments all carrying the same amplitudes — the paper's
+    /// "suitable solution ε1 = 3, ε2 = 0 for all time steps" style.
+    #[must_use]
+    pub fn constant_segments(mut self, n: usize, eps1: f64, eps2: f64) -> Self {
+        self.segments
+            .extend(std::iter::repeat_n(Segment::new(eps1, eps2), n));
+        self
+    }
+
+    /// Sets the total pulse time (default 1.0).
+    #[must_use]
+    pub fn total_time(mut self, t: f64) -> Self {
+        self.total_time = t;
+        self
+    }
+
+    /// Builds the pulse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`ParallelDrive::new`].
+    pub fn build(self) -> Result<ParallelDrive, DriveError> {
+        ParallelDrive::new(self.base, self.segments, self.total_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_weyl::magic::coordinates;
+    use paradrive_weyl::trajectory::Trajectory;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    fn pd(gc: f64, gg: f64, eps: &[(f64, f64)]) -> ParallelDrive {
+        let mut b = ParallelDriveBuilder::new(ConversionGain::new(gc, gg));
+        for &(e1, e2) in eps {
+            b = b.segment(e1, e2);
+        }
+        b.total_time(1.0).build().unwrap()
+    }
+
+    #[test]
+    fn zero_drive_matches_plain_pulse() {
+        let plain = ConversionGain::new(0.8, 0.3).unitary(1.0);
+        let parallel = pd(0.8, 0.3, &[(0.0, 0.0); 4]).unitary();
+        assert!(parallel.approx_eq(&plain, 1e-10));
+    }
+
+    #[test]
+    fn empty_segments_rejected() {
+        assert_eq!(
+            ParallelDrive::new(ConversionGain::new(1.0, 0.0), vec![], 1.0).unwrap_err(),
+            DriveError::EmptySegments
+        );
+    }
+
+    #[test]
+    fn invalid_time_rejected() {
+        assert!(matches!(
+            ParallelDrive::new(
+                ConversionGain::new(1.0, 0.0),
+                vec![Segment::default()],
+                -1.0
+            ),
+            Err(DriveError::InvalidParameter("total_time", _))
+        ));
+    }
+
+    #[test]
+    fn parallel_drive_leaves_base_plane() {
+        // Constant conversion/gain stays on the chamber floor; adding 1Q X
+        // drives lifts the endpoint off it (the Fig. 7 phenomenon).
+        let u = pd(FRAC_PI_2, FRAC_PI_4, &[(1.3, 0.4); 4]).unitary();
+        let p = coordinates(&u).unwrap();
+        assert!(p.c3 > 0.01, "stayed on base plane: {p}");
+    }
+
+    #[test]
+    fn trajectory_bends_under_parallel_drive() {
+        let straight = pd(FRAC_PI_2, 0.0, &[(0.0, 0.0); 8]);
+        let curved = pd(FRAC_PI_2, 0.0, &[(2.0, 1.0); 8]);
+        let t_straight = Trajectory::from_unitaries(&straight.accumulate()).unwrap();
+        let t_curved = Trajectory::from_unitaries(&curved.accumulate()).unwrap();
+        assert!(t_straight.chord_deviation() < 1e-6);
+        assert!(t_curved.chord_deviation() > 0.05);
+    }
+
+    #[test]
+    fn accumulate_ends_at_unitary() {
+        let pulse = pd(0.9, 0.1, &[(0.5, -0.5), (1.0, 0.0), (0.0, 1.0), (0.3, 0.3)]);
+        let acc = pulse.accumulate();
+        assert_eq!(acc.len(), 5);
+        assert!(acc[0].approx_eq(&CMat::identity(4), 1e-12));
+        assert!(acc[4].approx_eq(&pulse.unitary(), 1e-10));
+    }
+
+    #[test]
+    fn builder_constant_segments() {
+        let pulse = ParallelDriveBuilder::new(ConversionGain::new(1.0, 0.0))
+            .constant_segments(4, 3.0, 0.0)
+            .build()
+            .unwrap();
+        assert_eq!(pulse.segments().len(), 4);
+        assert!(pulse.segments().iter().all(|s| s.eps1 == 3.0 && s.eps2 == 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_parallel_drive_unitary(
+            gc in 0.0..2.0f64,
+            gg in 0.0..2.0f64,
+            e1 in -4.0..4.0f64,
+            e2 in -4.0..4.0f64,
+            n in 1usize..6,
+        ) {
+            let pulse = ParallelDriveBuilder::new(ConversionGain::new(gc, gg))
+                .constant_segments(n, e1, e2)
+                .build()
+                .unwrap();
+            prop_assert!(pulse.unitary().is_unitary(1e-9));
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The [`C64`] complex scalar.
+//!
+//! A minimal, dependency-free `f64` complex number with the arithmetic and
+//! transcendental operations needed for quantum-unitary manipulation.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// Fields are public by analogy with `num_complex::Complex64`; the type is a
+/// plain mathematical scalar with no invariants to protect.
+///
+/// # Example
+///
+/// ```
+/// use paradrive_linalg::C64;
+///
+/// let z = C64::new(0.0, std::f64::consts::PI);
+/// let e = z.exp();
+/// assert!((e.re + 1.0).abs() < 1e-15); // Euler: e^{iπ} = -1
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use paradrive_linalg::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Creates the unit phase `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed without undue overflow via `hypot`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        C64::new(self.norm().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use paradrive_linalg::C64;
+    /// let z = C64::new(-1.0, 0.0).sqrt();
+    /// assert!((z - C64::I).norm() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        C64::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Raises to a real power using the principal branch.
+    #[inline]
+    pub fn powf(self, p: f64) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return C64::ZERO;
+        }
+        C64::from_polar(self.norm().powf(p), self.arg() * p)
+    }
+
+    /// Raises to a complex power using the principal branch.
+    #[inline]
+    pub fn powc(self, p: C64) -> Self {
+        (self.ln() * p).exp()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality: `|self - other| <= tol`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self - other).norm() <= tol
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ is the definition
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, Add::add)
+    }
+}
+
+impl Product for C64 {
+    fn product<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ONE, Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(3.0, 1.1);
+        assert!((z.norm() - 3.0).abs() < TOL);
+        assert!((z.arg() - 1.1).abs() < TOL);
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        let z = C64::new(0.3, -0.7);
+        assert!(z.exp().ln().approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn sqrt_squares() {
+        let z = C64::new(-2.0, 5.0);
+        let s = z.sqrt();
+        assert!((s * s).approx_eq(z, TOL));
+    }
+
+    #[test]
+    fn powf_matches_repeated_multiplication() {
+        let z = C64::new(1.2, -0.4);
+        assert!(z.powf(3.0).approx_eq(z * z * z, 1e-10));
+    }
+
+    #[test]
+    fn powc_of_e() {
+        let e = C64::real(std::f64::consts::E);
+        let z = C64::new(0.0, std::f64::consts::PI);
+        assert!(e.powc(z).approx_eq(-C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn division_inverse() {
+        let z = C64::new(2.0, -3.0);
+        assert!((z / z).approx_eq(C64::ONE, TOL));
+        assert!((z * z.inv()).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1.000000-2.000000i");
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let v = [C64::ONE, C64::I, C64::new(2.0, 0.0)];
+        let s: C64 = v.iter().copied().sum();
+        assert!(s.approx_eq(C64::new(3.0, 1.0), TOL));
+        let p: C64 = v.iter().copied().product();
+        assert!(p.approx_eq(C64::new(0.0, 2.0), TOL));
+    }
+
+    fn small() -> impl Strategy<Value = f64> {
+        -1e3..1e3
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conj_involution(re in small(), im in small()) {
+            let z = C64::new(re, im);
+            prop_assert_eq!(z.conj().conj(), z);
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in small(), b in small(), c in small(), d in small()) {
+            let x = C64::new(a, b);
+            let y = C64::new(c, d);
+            prop_assert!((x * y).approx_eq(y * x, 1e-6 * (1.0 + (x*y).norm())));
+        }
+
+        #[test]
+        fn prop_norm_multiplicative(a in small(), b in small(), c in small(), d in small()) {
+            let x = C64::new(a, b);
+            let y = C64::new(c, d);
+            let lhs = (x * y).norm();
+            let rhs = x.norm() * y.norm();
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+        }
+
+        #[test]
+        fn prop_exp_adds(a in -10.0..10.0f64, b in -10.0..10.0f64,
+                         c in -10.0..10.0f64, d in -10.0..10.0f64) {
+            let x = C64::new(a, b);
+            let y = C64::new(c, d);
+            let lhs = (x + y).exp();
+            let rhs = x.exp() * y.exp();
+            prop_assert!(lhs.approx_eq(rhs, 1e-6 * (1.0 + rhs.norm())));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Eigenvalue routines for small complex matrices.
+//!
+//! Two paths are provided:
+//!
+//! - [`eigh`] — a complex Jacobi sweep for Hermitian matrices, returning real
+//!   eigenvalues and a unitary eigenbasis. Used for spectral time evolution.
+//! - [`eigvals`] — eigenvalues of a general square matrix via the
+//!   Faddeev–LeVerrier characteristic polynomial and Durand–Kerner roots.
+//!   Used on the (unitary, symmetric) magic-basis gamma matrix whose spectrum
+//!   encodes the Weyl-chamber coordinates.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+use crate::poly;
+use crate::LinalgError;
+
+/// Eigendecomposition of a Hermitian matrix.
+#[derive(Debug, Clone)]
+pub struct HermitianEig {
+    /// Real eigenvalues, in the order matching `vectors` columns.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the eigenvectors.
+    pub vectors: CMat,
+}
+
+/// Diagonalizes a Hermitian matrix with cyclic complex Jacobi rotations.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for rectangular input and
+/// [`LinalgError::NoConvergence`] if off-diagonal mass has not vanished after
+/// 100 sweeps (not observed for well-conditioned Hermitian input).
+///
+/// # Example
+///
+/// ```
+/// use paradrive_linalg::{C64, CMat, eig::eigh, paulis};
+/// let e = eigh(&paulis::x()).unwrap();
+/// let mut vals = e.values.clone();
+/// vals.sort_by(f64::total_cmp);
+/// assert!((vals[0] + 1.0).abs() < 1e-12 && (vals[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn eigh(a: &CMat) -> Result<HermitianEig, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare(a.rows(), a.cols()));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = CMat::identity(n);
+
+    for _sweep in 0..100 {
+        let off: f64 = (0..n)
+            .flat_map(|p| (0..n).map(move |q| (p, q)))
+            .filter(|&(p, q)| p != q)
+            .map(|(p, q)| m[(p, q)].norm_sqr())
+            .sum();
+        if off < 1e-28 {
+            let values = (0..n).map(|i| m[(i, i)].re).collect();
+            return Ok(HermitianEig { values, vectors: v });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.norm() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Phase that makes the (p,q) entry real.
+                let phase = C64::cis(-apq.arg());
+                let g = apq.norm();
+                // Classic symmetric Jacobi angle on the realified 2x2 block.
+                let theta = 0.5 * (2.0 * g).atan2(aqq - app);
+                let c = theta.cos();
+                let s = theta.sin();
+                // Rotation R acting on columns p, q:
+                // col_p' = c·col_p·conj(phase)... we apply G† M G and V G with
+                // G[p,p]=c, G[q,p]=-s·phase*, G[p,q]=s·phase, G[q,q]=c.
+                let gpp = C64::real(c);
+                let gpq = phase.conj() * s;
+                let gqp = -phase * s;
+                let gqq = C64::real(c);
+
+                // M ← G† M G (apply on the right to columns, then adjoint on rows).
+                for r in 0..n {
+                    let mp = m[(r, p)];
+                    let mq = m[(r, q)];
+                    m[(r, p)] = mp * gpp + mq * gqp;
+                    m[(r, q)] = mp * gpq + mq * gqq;
+                }
+                for cidx in 0..n {
+                    let mp = m[(p, cidx)];
+                    let mq = m[(q, cidx)];
+                    m[(p, cidx)] = gpp.conj() * mp + gqp.conj() * mq;
+                    m[(q, cidx)] = gpq.conj() * mp + gqq.conj() * mq;
+                }
+                // V ← V G
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = vp * gpp + vq * gqp;
+                    v[(r, q)] = vp * gpq + vq * gqq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence("Jacobi Hermitian eigensolver"))
+}
+
+/// Coefficients (low-to-high, monic with the leading 1 implicit) of the
+/// characteristic polynomial `det(xI - A)` via Faddeev–LeVerrier.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn char_poly(a: &CMat) -> Vec<C64> {
+    assert!(a.is_square(), "characteristic polynomial requires square input");
+    let n = a.rows();
+    // Faddeev–LeVerrier: M_0 = 0, c_n = 1;
+    // M_k = A·M_{k-1} + c_{n-k+1}·I, c_{n-k} = -tr(A·M_k)/k
+    let mut coeffs = vec![C64::ZERO; n + 1];
+    coeffs[n] = C64::ONE;
+    let mut m = CMat::zeros(n, n);
+    for k in 1..=n {
+        m = a.mul(&m);
+        let ck = coeffs[n - k + 1];
+        for i in 0..n {
+            m[(i, i)] += ck;
+        }
+        let am = a.mul(&m);
+        coeffs[n - k] = am.trace().scale(-1.0 / k as f64);
+    }
+    coeffs.truncate(n);
+    coeffs
+}
+
+/// Eigenvalues of a general square complex matrix.
+///
+/// Computed as the roots of the characteristic polynomial; accurate for the
+/// well-separated unit-circle spectra this workspace produces (gamma matrices
+/// of two-qubit unitaries). Not intended for large or defective matrices.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError::NoConvergence`] from the root finder and
+/// [`LinalgError::NotSquare`] for rectangular input.
+pub fn eigvals(a: &CMat) -> Result<Vec<C64>, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare(a.rows(), a.cols()));
+    }
+    poly::roots(&char_poly(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paulis;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eigh_pauli_z() {
+        let e = eigh(&paulis::z()).unwrap();
+        let mut vals = e.values.clone();
+        vals.sort_by(f64::total_cmp);
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_reconstructs() {
+        // H = 0.3 XX + 0.9 YY - 0.2 ZZ
+        let h = paulis::xx().scale(C64::real(0.3))
+            .add(&paulis::yy().scale(C64::real(0.9)))
+            .add(&paulis::zz().scale(C64::real(-0.2)));
+        let e = eigh(&h).unwrap();
+        assert!(e.vectors.is_unitary(1e-10));
+        let d = CMat::diag(&e.values.iter().map(|&x| C64::real(x)).collect::<Vec<_>>());
+        let rebuilt = e.vectors.mul(&d).mul(&e.vectors.adjoint());
+        assert!(rebuilt.approx_eq(&h, 1e-9));
+    }
+
+    #[test]
+    fn eigh_complex_hermitian() {
+        let h = CMat::from_rows(&[
+            &[C64::real(1.0), C64::new(0.0, -2.0)],
+            &[C64::new(0.0, 2.0), C64::real(3.0)],
+        ]);
+        let e = eigh(&h).unwrap();
+        let mut vals = e.values.clone();
+        vals.sort_by(f64::total_cmp);
+        // Eigenvalues of [[1, -2i], [2i, 3]] are 2 ± √5.
+        assert!((vals[0] - (2.0 - 5.0_f64.sqrt())).abs() < 1e-9);
+        assert!((vals[1] - (2.0 + 5.0_f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigh_rejects_rectangular() {
+        assert!(matches!(
+            eigh(&CMat::zeros(2, 3)),
+            Err(LinalgError::NotSquare(2, 3))
+        ));
+    }
+
+    #[test]
+    fn char_poly_of_diagonal() {
+        // diag(1, 2): char poly = x² - 3x + 2 → coeffs [2, -3]
+        let d = CMat::diag(&[C64::real(1.0), C64::real(2.0)]);
+        let c = char_poly(&d);
+        assert!(c[0].approx_eq(C64::real(2.0), 1e-12));
+        assert!(c[1].approx_eq(C64::real(-3.0), 1e-12));
+    }
+
+    #[test]
+    fn eigvals_unitary_spectrum_on_circle() {
+        // A unitary's eigenvalues live on the unit circle.
+        let u = paulis::h().kron(&paulis::s());
+        let vals = eigvals(&u).unwrap();
+        assert_eq!(vals.len(), 4);
+        for v in vals {
+            assert!((v.norm() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigvals_match_diagonal_entries() {
+        let d = CMat::diag(&[C64::cis(0.4), C64::cis(-1.3), C64::cis(2.2), C64::cis(0.0)]);
+        let vals = eigvals(&d).unwrap();
+        for target in [0.4, -1.3, 2.2, 0.0] {
+            assert!(
+                vals.iter().any(|v| v.approx_eq(C64::cis(target), 1e-7)),
+                "missing eigenvalue e^(i {target})"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigh_trace_preserved(a in -2.0..2.0f64, b in -2.0..2.0f64, c in -2.0..2.0f64) {
+            let h = paulis::xx().scale(C64::real(a))
+                .add(&paulis::yy().scale(C64::real(b)))
+                .add(&paulis::zz().scale(C64::real(c)));
+            let e = eigh(&h).unwrap();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((sum - h.trace().re).abs() < 1e-8);
+        }
+    }
+}

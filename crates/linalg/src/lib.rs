@@ -1,0 +1,88 @@
+//! Self-contained complex linear algebra for small dense matrices.
+//!
+//! `paradrive-linalg` provides everything the rest of the `paradrive`
+//! workspace needs to manipulate two-qubit unitaries without pulling in an
+//! external linear-algebra stack:
+//!
+//! - [`C64`] — a complex scalar with full arithmetic and transcendentals.
+//! - [`CMat`] — a dense, row-major complex matrix with products, Kronecker
+//!   products, determinants, adjoints and norms.
+//! - [`expm`](expm::expm) — the matrix exponential via scaling-and-squaring.
+//! - [`eig`] — a complex Jacobi eigensolver for Hermitian matrices and a
+//!   characteristic-polynomial eigenvalue path for general small matrices.
+//! - [`poly`](poly::roots) — Durand–Kerner (Weierstrass) polynomial roots.
+//! - [`qr`] — complex Householder QR and Haar-random unitary sampling.
+//! - [`paulis`] — the standard 1-qubit operator zoo.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_linalg::{C64, CMat, expm::expm, paulis};
+//!
+//! // exp(-i θ/2 X) is a rotation about X.
+//! let theta = std::f64::consts::FRAC_PI_2;
+//! let h = paulis::x().scale(C64::new(0.0, -theta / 2.0));
+//! let u = expm(&h);
+//! assert!(u.is_unitary(1e-12));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod eig;
+pub mod expm;
+pub mod mat;
+pub mod paulis;
+pub mod poly;
+pub mod qr;
+
+pub use complex::C64;
+pub use mat::CMat;
+
+/// Errors produced by `paradrive-linalg` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes; the payload is
+    /// `(rows_a, cols_a, rows_b, cols_b)`.
+    ShapeMismatch(usize, usize, usize, usize),
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare(usize, usize),
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence(&'static str),
+    /// The matrix was singular to working precision.
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(ra, ca, rb, cb) => write!(
+                f,
+                "shape mismatch: left is {ra}x{ca}, right is {rb}x{cb}"
+            ),
+            LinalgError::NotSquare(r, c) => {
+                write!(f, "operation requires a square matrix, got {r}x{c}")
+            }
+            LinalgError::NoConvergence(what) => {
+                write!(f, "{what} did not converge within its iteration budget")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+        assert_send_sync::<C64>();
+        assert_send_sync::<CMat>();
+    }
+}

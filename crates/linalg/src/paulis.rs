@@ -1,0 +1,171 @@
+//! The standard one-qubit operator zoo.
+//!
+//! Constructors for the Pauli matrices, Clifford gates, and parametrized
+//! rotations, all as 2×2 [`CMat`] values. Two-qubit tensor helpers live here
+//! too since they are pure Kronecker combinations.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Pauli X.
+pub fn x() -> CMat {
+    CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+}
+
+/// Pauli Y.
+pub fn y() -> CMat {
+    CMat::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+}
+
+/// Pauli Z.
+pub fn z() -> CMat {
+    CMat::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, -C64::ONE]])
+}
+
+/// 2×2 identity.
+pub fn i2() -> CMat {
+    CMat::identity(2)
+}
+
+/// Hadamard gate.
+pub fn h() -> CMat {
+    let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    CMat::from_rows(&[&[s, s], &[s, -s]])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> CMat {
+    CMat::diag(&[C64::ONE, C64::I])
+}
+
+/// T gate = diag(1, e^{iπ/4}).
+pub fn t() -> CMat {
+    CMat::diag(&[C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// Qubit lowering operator `σ⁻ = |0⟩⟨1|`.
+pub fn sigma_minus() -> CMat {
+    CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ZERO, C64::ZERO]])
+}
+
+/// Qubit raising operator `σ⁺ = |1⟩⟨0|`.
+pub fn sigma_plus() -> CMat {
+    CMat::from_rows(&[&[C64::ZERO, C64::ZERO], &[C64::ONE, C64::ZERO]])
+}
+
+/// Rotation about X: `RX(θ) = exp(-i θ/2 X)`.
+///
+/// ```
+/// use paradrive_linalg::paulis;
+/// let u = paulis::rx(std::f64::consts::PI);
+/// // RX(π) = -iX
+/// assert!(u.approx_eq(&paulis::x().scale(-paradrive_linalg::C64::I), 1e-12));
+/// ```
+pub fn rx(theta: f64) -> CMat {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::new(0.0, -(theta / 2.0).sin());
+    CMat::from_rows(&[&[c, s], &[s, c]])
+}
+
+/// Rotation about Y: `RY(θ) = exp(-i θ/2 Y)`.
+pub fn ry(theta: f64) -> CMat {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::real((theta / 2.0).sin());
+    CMat::from_rows(&[&[c, -s], &[s, c]])
+}
+
+/// Rotation about Z: `RZ(θ) = exp(-i θ/2 Z)`.
+pub fn rz(theta: f64) -> CMat {
+    CMat::diag(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)])
+}
+
+/// General Euler-angle 1Q unitary `U3(θ, φ, λ) = RZ(φ)·RY(θ)·RZ(λ)` up to
+/// global phase (the OpenQASM convention).
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> CMat {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    CMat::from_rows(&[
+        &[C64::real(c), -C64::cis(lambda) * s],
+        &[C64::cis(phi) * s, C64::cis(phi + lambda) * c],
+    ])
+}
+
+/// Tensor `a ⊗ b` of two 1Q operators, yielding a 4×4 two-qubit operator.
+pub fn tensor(a: &CMat, b: &CMat) -> CMat {
+    a.kron(b)
+}
+
+/// `XX = X ⊗ X` two-qubit operator.
+pub fn xx() -> CMat {
+    x().kron(&x())
+}
+
+/// `YY = Y ⊗ Y` two-qubit operator.
+pub fn yy() -> CMat {
+    y().kron(&y())
+}
+
+/// `ZZ = Z ⊗ Z` two-qubit operator.
+pub fn zz() -> CMat {
+    z().kron(&z())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expm::expm;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn rotations_are_unitary() {
+        for &th in &[0.0, 0.3, 1.0, std::f64::consts::PI, 5.0] {
+            assert!(rx(th).is_unitary(TOL));
+            assert!(ry(th).is_unitary(TOL));
+            assert!(rz(th).is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn rotation_matches_expm() {
+        let th = 0.77;
+        for (rot, pauli) in [(rx(th), x()), (ry(th), y()), (rz(th), z())] {
+            let gen = pauli.scale(C64::new(0.0, -th / 2.0));
+            assert!(rot.approx_eq(&expm(&gen), 1e-12));
+        }
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(0,0,0) = I
+        assert!(u3(0.0, 0.0, 0.0).approx_eq(&i2(), TOL));
+        // U3(π/2, 0, π) = H up to global phase.
+        let u = u3(std::f64::consts::FRAC_PI_2, 0.0, std::f64::consts::PI);
+        assert!(crate::mat::process_fidelity(&u, &h()) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn ladder_operators() {
+        // σ⁺σ⁻ = |1⟩⟨1|
+        let n = sigma_plus().mul(&sigma_minus());
+        assert!(n.approx_eq(&CMat::diag(&[C64::ZERO, C64::ONE]), TOL));
+        // σ⁻ + σ⁺ = X
+        assert!(sigma_minus().add(&sigma_plus()).approx_eq(&x(), TOL));
+    }
+
+    #[test]
+    fn two_qubit_paulis_square_to_identity() {
+        for m in [xx(), yy(), zz()] {
+            assert!(m.mul(&m).approx_eq(&CMat::identity(4), TOL));
+            assert!(m.is_hermitian(TOL));
+        }
+    }
+
+    #[test]
+    fn s_and_t_compose() {
+        // T² = S
+        assert!(t().mul(&t()).approx_eq(&s(), TOL));
+        // S² = Z
+        assert!(s().mul(&s()).approx_eq(&z(), TOL));
+    }
+}

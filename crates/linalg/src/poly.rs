@@ -1,0 +1,161 @@
+//! Polynomial root finding via the Durand–Kerner (Weierstrass) iteration.
+//!
+//! Used to extract the spectrum of the 4×4 magic-basis gamma matrix: its
+//! characteristic polynomial is a quartic with complex coefficients whose
+//! roots all lie on the unit circle, a regime where Durand–Kerner converges
+//! quickly and robustly.
+
+use crate::complex::C64;
+use crate::LinalgError;
+
+/// Evaluates the monic polynomial
+/// `x^n + coeffs[n-1]·x^(n-1) + … + coeffs[0]` at `x` via Horner's rule.
+pub fn eval_monic(coeffs: &[C64], x: C64) -> C64 {
+    let mut acc = C64::ONE;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Finds all roots of the monic polynomial with the given low-to-high
+/// coefficients (`coeffs[k]` multiplies `x^k`; the leading coefficient is an
+/// implicit 1), using Durand–Kerner simultaneous iteration.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NoConvergence`] if the iteration has not settled
+/// after 500 sweeps (does not occur for well-scaled inputs such as
+/// characteristic polynomials of unitary matrices).
+///
+/// # Example
+///
+/// ```
+/// use paradrive_linalg::{C64, poly::roots};
+/// // x² + 1 = 0  →  ±i
+/// let r = roots(&[C64::ONE, C64::ZERO]).unwrap();
+/// assert!(r.iter().any(|z| z.approx_eq(C64::I, 1e-9)));
+/// assert!(r.iter().any(|z| z.approx_eq(-C64::I, 1e-9)));
+/// ```
+pub fn roots(coeffs: &[C64]) -> Result<Vec<C64>, LinalgError> {
+    let n = coeffs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Initial guesses: points on a circle with a non-real offset angle to
+    // avoid symmetric stagnation.
+    let radius = 1.0 + coeffs.iter().map(|c| c.norm()).fold(0.0_f64, f64::max);
+    let mut z: Vec<C64> = (0..n)
+        .map(|k| C64::from_polar(radius.min(2.0), 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect();
+
+    for _ in 0..500 {
+        let mut max_step = 0.0_f64;
+        for i in 0..n {
+            let mut denom = C64::ONE;
+            for j in 0..n {
+                if i != j {
+                    denom *= z[i] - z[j];
+                }
+            }
+            if denom.norm() < 1e-300 {
+                // Perturb coincident estimates.
+                z[i] += C64::new(1e-8, 1e-8);
+                continue;
+            }
+            let delta = eval_monic(coeffs, z[i]) / denom;
+            z[i] -= delta;
+            max_step = max_step.max(delta.norm());
+        }
+        if max_step < 1e-14 {
+            return Ok(z);
+        }
+    }
+    // Accept slightly looser convergence before giving up.
+    let worst = z
+        .iter()
+        .map(|&zi| eval_monic(coeffs, zi).norm())
+        .fold(0.0_f64, f64::max);
+    if worst < 1e-8 {
+        Ok(z)
+    } else {
+        Err(LinalgError::NoConvergence("Durand-Kerner root finding"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn contains_root(rs: &[C64], target: C64, tol: f64) -> bool {
+        rs.iter().any(|z| z.approx_eq(target, tol))
+    }
+
+    #[test]
+    fn linear() {
+        // x + 3 = 0
+        let r = roots(&[C64::real(3.0)]).unwrap();
+        assert!(contains_root(&r, C64::real(-3.0), 1e-10));
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (x-1)(x-2) = x² - 3x + 2
+        let r = roots(&[C64::real(2.0), C64::real(-3.0)]).unwrap();
+        assert!(contains_root(&r, C64::real(1.0), 1e-9));
+        assert!(contains_root(&r, C64::real(2.0), 1e-9));
+    }
+
+    #[test]
+    fn quartic_unit_circle() {
+        // Roots e^{iθ} for θ in {0.3, 1.1, -2.0, 2.9} — the regime used for
+        // Weyl-coordinate extraction.
+        let thetas = [0.3, 1.1, -2.0, 2.9];
+        let rs: Vec<C64> = thetas.iter().map(|&t| C64::cis(t)).collect();
+        // Expand ∏(x - r_k).
+        let mut coeffs = vec![C64::ONE]; // constant polynomial 1, low-to-high
+        for &r in &rs {
+            let mut next = vec![C64::ZERO; coeffs.len() + 1];
+            for (k, &c) in coeffs.iter().enumerate() {
+                next[k + 1] += c;
+                next[k] -= c * r;
+            }
+            coeffs = next;
+        }
+        // Drop the leading 1 to get the monic low-to-high form.
+        let monic = &coeffs[..coeffs.len() - 1];
+        let found = roots(monic).unwrap();
+        for &r in &rs {
+            assert!(contains_root(&found, r, 1e-8), "missing root {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_roots() {
+        // (x-1)² = x² - 2x + 1: repeated roots converge more slowly but
+        // must still land within loose tolerance.
+        let r = roots(&[C64::real(1.0), C64::real(-2.0)]).unwrap();
+        for z in r {
+            assert!(z.approx_eq(C64::ONE, 1e-4));
+        }
+    }
+
+    #[test]
+    fn empty_polynomial() {
+        assert!(roots(&[]).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roots_satisfy_polynomial(a in -2.0..2.0f64, b in -2.0..2.0f64,
+                                         c in -2.0..2.0f64, d in -2.0..2.0f64) {
+            let coeffs = [C64::new(a, b), C64::new(c, d), C64::ZERO];
+            let rs = roots(&coeffs).unwrap();
+            prop_assert_eq!(rs.len(), 3);
+            for z in rs {
+                prop_assert!(eval_monic(&coeffs, z).norm() < 1e-6);
+            }
+        }
+    }
+}

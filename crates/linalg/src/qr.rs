@@ -1,0 +1,218 @@
+//! Complex Householder QR and Haar-random unitary sampling.
+//!
+//! Haar-random two-qubit gates are the backbone of the paper's `E[Haar]`
+//! scores: sampling a Ginibre matrix (i.i.d. complex Gaussians) and taking
+//! the phase-corrected `Q` of its QR decomposition yields exactly the Haar
+//! measure on `U(n)` (Mezzadri, 2007).
+
+use crate::complex::C64;
+use crate::mat::CMat;
+use rand::Rng;
+
+/// The result of a QR decomposition: `A = Q · R` with unitary `Q` and
+/// upper-triangular `R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Unitary factor.
+    pub q: CMat,
+    /// Upper-triangular factor.
+    pub r: CMat,
+}
+
+/// Householder QR decomposition of a square complex matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not square (rectangular QR is not needed here).
+pub fn qr(a: &CMat) -> Qr {
+    assert!(a.is_square(), "qr requires a square matrix");
+    let n = a.rows();
+    let mut r = a.clone();
+    let mut q = CMat::identity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut x = vec![C64::ZERO; n - k];
+        for i in k..n {
+            x[i - k] = r[(i, k)];
+        }
+        let xnorm = x.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        if xnorm < 1e-300 {
+            continue;
+        }
+        // alpha = -e^{i arg(x0)} |x|
+        let phase = if x[0].norm() > 1e-300 {
+            C64::cis(x[0].arg())
+        } else {
+            C64::ONE
+        };
+        let alpha = -phase * xnorm;
+        let mut v = x.clone();
+        v[0] -= alpha;
+        let vnorm_sqr: f64 = v.iter().map(|c| c.norm_sqr()).sum();
+        if vnorm_sqr < 1e-300 {
+            continue;
+        }
+
+        // Apply H = I - 2 v v† / |v|² to R (rows k..n) and accumulate into Q.
+        for col in 0..n {
+            let mut dot = C64::ZERO;
+            for i in k..n {
+                dot += v[i - k].conj() * r[(i, col)];
+            }
+            let f = dot.scale(2.0 / vnorm_sqr);
+            for i in k..n {
+                let s = v[i - k] * f;
+                r[(i, col)] -= s;
+            }
+        }
+        for row in 0..n {
+            // Q ← Q H (H is Hermitian).
+            let mut dot = C64::ZERO;
+            for i in k..n {
+                dot += q[(row, i)] * v[i - k];
+            }
+            let f = dot.scale(2.0 / vnorm_sqr);
+            for i in k..n {
+                let s = f * v[i - k].conj();
+                q[(row, i)] -= s;
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+/// Samples a standard complex Gaussian via Box–Muller.
+fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R) -> C64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mag = (-2.0 * u1.ln()).sqrt();
+    // Real and imaginary parts each N(0, 1/√2) — overall scale is irrelevant
+    // for Haar sampling.
+    C64::new(mag * u2.cos(), mag * u2.sin()).scale(std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Samples an `n × n` matrix with i.i.d. standard complex Gaussian entries.
+pub fn ginibre<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
+    CMat::from_fn(n, n, |_, _| complex_gaussian(rng))
+}
+
+/// Samples a Haar-distributed unitary from `U(n)`.
+///
+/// Implements Mezzadri's recipe: QR of a Ginibre matrix with the `Q` columns
+/// re-phased by `R`'s diagonal so the distribution is exactly Haar.
+///
+/// # Example
+///
+/// ```
+/// use paradrive_linalg::qr::random_unitary;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let u = random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMat {
+    let g = ginibre(n, rng);
+    let Qr { q, r } = qr(&g);
+    // Λ = diag(r_ii / |r_ii|); U = Q Λ.
+    let mut u = q;
+    for j in 0..n {
+        let d = r[(j, j)];
+        let lam = if d.norm() > 1e-300 {
+            C64::cis(d.arg())
+        } else {
+            C64::ONE
+        };
+        for i in 0..n {
+            u[(i, j)] *= lam;
+        }
+    }
+    u
+}
+
+/// Samples a Haar-random 2×2 special unitary (`det = 1`).
+pub fn random_su2<R: Rng + ?Sized>(rng: &mut R) -> CMat {
+    let u = random_unitary(2, rng);
+    let d = u.det();
+    // Divide by det^{1/2} to land in SU(2).
+    u.scale(d.powf(-0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ginibre(4, &mut rng);
+        let Qr { q, r } = qr(&a);
+        assert!(q.is_unitary(1e-10), "Q not unitary");
+        assert!(q.mul(&r).approx_eq(&a, 1e-10), "QR != A");
+        // R upper triangular.
+        for i in 1..4 {
+            for j in 0..i {
+                assert!(r[(i, j)].norm() < 1e-10, "R not upper triangular");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let Qr { q, r } = qr(&CMat::identity(3));
+        assert!(q.mul(&r).approx_eq(&CMat::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn random_unitary_is_unitary_many_seeds() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let u = random_unitary(4, &mut rng);
+            assert!(u.is_unitary(1e-9), "seed {seed} produced non-unitary");
+        }
+    }
+
+    #[test]
+    fn random_su2_has_unit_det() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let u = random_su2(&mut rng);
+            assert!(u.is_unitary(1e-10));
+            assert!(u.det().approx_eq(C64::ONE, 1e-9));
+        }
+    }
+
+    #[test]
+    fn haar_first_moment_vanishes() {
+        // E[U] = 0 under Haar; check the empirical mean shrinks.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 400;
+        let mut acc = CMat::zeros(2, 2);
+        for _ in 0..n {
+            acc = acc.add(&random_unitary(2, &mut rng));
+        }
+        let mean = acc.scale(C64::real(1.0 / n as f64));
+        assert!(mean.max_abs() < 0.12, "Haar mean too large: {}", mean.max_abs());
+    }
+
+    #[test]
+    fn haar_eigenphase_spread() {
+        // Eigenphases of Haar unitaries should populate both half-circles.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pos = 0;
+        let mut neg = 0;
+        for _ in 0..50 {
+            let u = random_unitary(2, &mut rng);
+            for v in crate::eig::eigvals(&u).unwrap() {
+                if v.arg() >= 0.0 {
+                    pos += 1;
+                } else {
+                    neg += 1;
+                }
+            }
+        }
+        assert!(pos > 20 && neg > 20, "eigenphases not spread: {pos}/{neg}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Decomposition-template synthesis by numerical optimization.
+//!
+//! The paper's Algorithm 2 needs to answer: *can K applications of this
+//! parallel-driven basis gate, with free pump phases `φc, φg`, 1Q drive
+//! envelopes `ε1(t), ε2(t)` and interleaved 1Q gates, reach a given target
+//! class?* We answer it the same way the paper does: Nelder–Mead over the
+//! template's free parameters with a Makhlin-invariant loss functional, so
+//! the optimizer chases the target's local-equivalence class rather than a
+//! specific matrix (Fig. 8).
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_optimizer::{NelderMead, Options};
+//!
+//! // Minimize a 2-d quadratic.
+//! let f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2);
+//! let result = NelderMead::new(Options::default()).minimize(&f, &[0.0, 0.0]);
+//! assert!(result.value < 1e-10);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nelder_mead;
+mod template;
+
+pub use nelder_mead::{NelderMead, NmResult, Options};
+pub use template::{SynthesisOutcome, TemplateSpec, TemplateSynthesizer};
+
+/// Errors produced by template synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizerError {
+    /// The template was configured with zero repetitions or zero segments.
+    EmptyTemplate,
+    /// A Weyl-chamber computation failed on an optimizer iterate.
+    Weyl(String),
+}
+
+impl std::fmt::Display for OptimizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerError::EmptyTemplate => {
+                write!(f, "template must have at least one repetition and one segment")
+            }
+            OptimizerError::Weyl(e) => write!(f, "Weyl computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizerError {}

@@ -1,0 +1,245 @@
+//! A self-contained Nelder–Mead simplex minimizer.
+//!
+//! Uses the standard reflection/expansion/contraction/shrink moves with the
+//! adaptive coefficients of Gao & Han for dimension-robust behaviour on the
+//! 10–40 dimensional template parameter spaces this workspace optimizes.
+
+/// Termination and behaviour options for [`NelderMead`].
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Maximum number of iterations (function evaluations are a small
+    /// multiple of this).
+    pub max_iter: usize,
+    /// Stop when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Stop when the simplex's spatial diameter falls below this.
+    pub x_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_iter: 2000,
+            f_tol: 1e-14,
+            x_tol: 1e-12,
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// The result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Best objective value after each iteration — the training-loss curve
+    /// of the paper's Fig. 8b.
+    pub history: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// A Nelder–Mead simplex minimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMead {
+    options: Options,
+}
+
+impl NelderMead {
+    /// Creates a minimizer with the given options.
+    pub fn new(options: Options) -> Self {
+        NelderMead { options }
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize(&self, f: &dyn Fn(&[f64]) -> f64, x0: &[f64]) -> NmResult {
+        let n = x0.len();
+        assert!(n > 0, "cannot minimize over zero parameters");
+        let o = &self.options;
+
+        // Adaptive coefficients (Gao & Han 2012).
+        let nf = n as f64;
+        let alpha = 1.0;
+        let beta = 1.0 + 2.0 / nf;
+        let gamma = 0.75 - 1.0 / (2.0 * nf);
+        let delta = 1.0 - 1.0 / nf;
+
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += if v[i].abs() > 1e-12 {
+                o.initial_step * v[i].abs()
+            } else {
+                o.initial_step
+            };
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+        let mut history = Vec::with_capacity(o.max_iter);
+        let mut iterations = 0;
+
+        for _ in 0..o.max_iter {
+            iterations += 1;
+            // Order the simplex by value.
+            let mut idx: Vec<usize> = (0..=n).collect();
+            idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+            simplex = idx.iter().map(|&i| simplex[i].clone()).collect();
+            values = idx.iter().map(|&i| values[i]).collect();
+            history.push(values[0]);
+
+            // Convergence checks.
+            let spread = values[n] - values[0];
+            let diameter = simplex[1..]
+                .iter()
+                .map(|v| {
+                    v.iter()
+                        .zip(&simplex[0])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0_f64, f64::max)
+                })
+                .fold(0.0_f64, f64::max);
+            if spread < o.f_tol && diameter < o.x_tol {
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for v in &simplex[..n] {
+                for (c, &x) in centroid.iter_mut().zip(v) {
+                    *c += x;
+                }
+            }
+            for c in &mut centroid {
+                *c /= nf;
+            }
+
+            let lerp = |from: &[f64], towards: &[f64], t: f64| -> Vec<f64> {
+                from.iter()
+                    .zip(towards)
+                    .map(|(&a, &b)| a + t * (b - a))
+                    .collect()
+            };
+
+            // Reflect the worst point through the centroid.
+            let reflected = lerp(&centroid, &simplex[n], -alpha);
+            let fr = f(&reflected);
+
+            if fr < values[0] {
+                // Try expanding further.
+                let expanded = lerp(&centroid, &simplex[n], -alpha * beta);
+                let fe = f(&expanded);
+                if fe < fr {
+                    simplex[n] = expanded;
+                    values[n] = fe;
+                } else {
+                    simplex[n] = reflected;
+                    values[n] = fr;
+                }
+            } else if fr < values[n - 1] {
+                simplex[n] = reflected;
+                values[n] = fr;
+            } else {
+                // Contraction (outside if the reflection helped at all).
+                let (point, fv) = if fr < values[n] {
+                    let outside = lerp(&centroid, &simplex[n], -alpha * gamma);
+                    let fo = f(&outside);
+                    (outside, fo)
+                } else {
+                    let inside = lerp(&centroid, &simplex[n], gamma);
+                    let fi = f(&inside);
+                    (inside, fi)
+                };
+                if fv < values[n].min(fr) {
+                    simplex[n] = point;
+                    values[n] = fv;
+                } else {
+                    // Shrink everything towards the best vertex.
+                    let best = simplex[0].clone();
+                    for i in 1..=n {
+                        simplex[i] = lerp(&best, &simplex[i], delta);
+                        values[i] = f(&simplex[i]);
+                    }
+                }
+            }
+        }
+
+        // Final ordering.
+        let mut best_i = 0;
+        for i in 1..=n {
+            if values[i] < values[best_i] {
+                best_i = i;
+            }
+        }
+        NmResult {
+            x: simplex[best_i].clone(),
+            value: values[best_i],
+            history,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = NelderMead::new(Options::default()).minimize(&f, &[3.0, -2.0, 1.0]);
+        assert!(r.value < 1e-12, "value {}", r.value);
+        for v in r.x {
+            assert!(v.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = NelderMead::new(Options {
+            max_iter: 5000,
+            ..Options::default()
+        })
+        .minimize(&f, &[-1.2, 1.0]);
+        assert!(r.value < 1e-8, "value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn history_is_monotone_nonincreasing() {
+        let f = |x: &[f64]| (x[0] - 4.0).powi(2) + (x[1] * x[1] - 2.0).powi(2);
+        let r = NelderMead::new(Options::default()).minimize(&f, &[0.0, 0.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "history increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let f = |x: &[f64]| (x[0] - 7.5).powi(2);
+        let r = NelderMead::new(Options::default()).minimize(&f, &[0.0]);
+        assert!((r.x[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_max_iter() {
+        let f = |x: &[f64]| x.iter().map(|v| v.abs()).sum::<f64>();
+        let r = NelderMead::new(Options {
+            max_iter: 5,
+            ..Options::default()
+        })
+        .minimize(&f, &[1.0; 8]);
+        assert!(r.iterations <= 5);
+        assert_eq!(r.history.len(), r.iterations);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 3a: the set of gates natively produced by conversion + gain
+//! driving — a sweep of (θc, θg) mapped to Weyl-chamber coordinates with
+//! the total-angle color scale.
+
+use paradrive_hamiltonian::ConversionGain;
+use paradrive_repro::header;
+use paradrive_weyl::magic::coordinates;
+use std::f64::consts::FRAC_PI_2;
+
+fn main() {
+    header("Fig. 3a — Native conversion/gain gate set");
+    println!("theta_c/pi  theta_g/pi     c1/pi     c2/pi     c3/pi   (tc+tg)/(pi/2)");
+    let steps = 9;
+    let mut off_plane = 0;
+    for i in 0..=steps {
+        for j in 0..=steps {
+            let tc = FRAC_PI_2 * i as f64 / steps as f64;
+            let tg = FRAC_PI_2 * j as f64 / steps as f64;
+            let u = ConversionGain::new(tc, tg).unitary(1.0);
+            let p = coordinates(&u).expect("drive unitary has coordinates");
+            if p.c3.abs() > 1e-7 {
+                off_plane += 1;
+            }
+            if (i + j) % 3 == 0 {
+                println!(
+                    "{:>10.3} {:>10.3} {:>9.3} {:>9.3} {:>9.3} {:>12.3}",
+                    tc / std::f64::consts::PI,
+                    tg / std::f64::consts::PI,
+                    p.c1 / std::f64::consts::PI,
+                    p.c2 / std::f64::consts::PI,
+                    p.c3 / std::f64::consts::PI,
+                    (tc + tg) / FRAC_PI_2
+                );
+            }
+        }
+    }
+    println!("\npoints leaving the base plane: {off_plane} (paper: 0 — the native set is the chamber floor)");
+    println!("endpoints: (π/2, 0) → iSWAP tip; (π/4, π/4) → CNOT baseline point (Eq. 4).");
+}

@@ -1,0 +1,35 @@
+//! Fig. 3b: the target-gate "shot chart" — frequency of consolidated 2Q
+//! classes over the benchmark suite routed onto the 4×4 lattice, and the
+//! λ fit of Eq. 6.
+
+use paradrive_circuit::benchmarks::standard_suite;
+use paradrive_core::flow::fit_lambda_over_suite;
+use paradrive_repro::header;
+use paradrive_transpiler::consolidate::{class_histogram, consolidate};
+use paradrive_transpiler::routing::route_best_of;
+use paradrive_transpiler::topology::CouplingMap;
+use std::collections::BTreeMap;
+
+fn main() {
+    header("Fig. 3b — Consolidated 2Q class frequencies, 16q suite on 4x4");
+    let map = CouplingMap::grid(4, 4);
+    let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+    for b in standard_suite(7) {
+        let routed = route_best_of(&b.circuit, &map, 4).expect("routing");
+        let items = consolidate(&routed.circuit).expect("consolidation");
+        let hist = class_histogram(&items);
+        println!("\n[{}]  swaps inserted: {}", b.name, routed.swaps_inserted);
+        for (label, count) in &hist {
+            println!("  {label:<14} {count}");
+            *totals.entry(label.clone()).or_insert(0) += count;
+        }
+    }
+    println!("\n[suite totals]");
+    let mut rows: Vec<_> = totals.into_iter().collect();
+    rows.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+    for (label, count) in &rows {
+        println!("  {label:<14} {count}");
+    }
+    let lambda = fit_lambda_over_suite(7, 4).expect("lambda fit");
+    println!("\nλ = CNOT/(CNOT+SWAP) = {lambda:.3}   (paper: 731/(731+828) ≈ 0.47)");
+}

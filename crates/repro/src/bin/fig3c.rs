@@ -1,0 +1,43 @@
+//! Fig. 3c: the monitor-qubit break-point sweep over (gg, gc) and the
+//! fitted speed-limit boundary.
+
+use paradrive_repro::header;
+use paradrive_speedlimit::monitor::MonitorQubitModel;
+use paradrive_speedlimit::{Characterized, SpeedLimit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Fig. 3c — SNAIL speed-limit characterization (simulated)");
+    let truth = Characterized::snail();
+    let model = MonitorQubitModel::new(truth.clone(), 0.02, 0.01);
+    let mut rng = StdRng::seed_from_u64(42);
+    let grid = model.sweep(48, 24, 60, &mut rng);
+
+    // ASCII raster: '#' = excited (beyond the speed limit), '.' = ground.
+    let (nx, ny) = grid.shape();
+    println!("gg ↑  ('#' monitor excited = speed limit exceeded)");
+    for iy in (0..ny).rev() {
+        let mut line = String::new();
+        for ix in 0..nx {
+            let v = grid.at(ix, iy);
+            line.push(if v > 0.5 { '#' } else { '.' });
+        }
+        println!("  {line}");
+    }
+    println!("  {}", "-".repeat(nx));
+    println!("  gc →  (0 .. {:.3})", grid.gc_max());
+
+    let fitted = grid.fit_boundary().expect("boundary fit");
+    println!("\nfitted vs ground-truth boundary (gc, gg_fit, gg_truth):");
+    for i in 1..8 {
+        let gc = truth.max_gc() * i as f64 / 8.0;
+        println!(
+            "  {:>6.3} {:>8.3} {:>8.3}",
+            gc,
+            fitted.boundary(gc),
+            truth.boundary(gc)
+        );
+    }
+    println!("\npaper anchors: gc driveable much harder than gg; nonlinear boundary.");
+}

@@ -1,0 +1,68 @@
+//! Table I + Fig. 4: decomposition gate counts K and coverage sets for the
+//! six comparative bases (no parallel drive).
+
+use paradrive_coverage::scores::{build_stack, k_scores, paper_table1_reference, BuildOptions};
+use paradrive_coverage::PAPER_LAMBDA;
+use paradrive_core::scoring::paper_bases;
+use paradrive_optimizer::TemplateSpec;
+use paradrive_repro::{compare, header};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    header("Table I / Fig. 4 — Decomposition gate counts (K), plain templates");
+    let mut rng = StdRng::seed_from_u64(2023);
+    let haar = paradrive_weyl::haar::sample_points(600, &mut rng);
+    let reference = paper_table1_reference();
+
+    for basis in paper_bases() {
+        let angles = paradrive_hamiltonian::angles_for_base_point(basis.point)
+            .expect("paper bases are base-plane gates");
+        let stack = build_stack(
+            &basis.name,
+            basis.point,
+            |k| {
+                let mut spec =
+                    TemplateSpec::for_basis_angles(angles.theta_c, angles.theta_g, k)
+                        .without_parallel_drive();
+                spec.segments = 1; // no drive segments needed without PD
+                spec
+            },
+            BuildOptions {
+                max_k: 6,
+                samples_per_k: 2200,
+                exterior_restarts: if basis.name.contains("CNOT") { 6 } else { 4 },
+                full_coverage_probe: 150,
+            },
+            &mut rng,
+        )
+        .expect("coverage stack");
+
+        let s = k_scores(&stack, &haar, PAPER_LAMBDA);
+        println!("\n[{}]  (built {} K-sets)", basis.name, stack.max_k());
+        for k in 1..=stack.max_k() {
+            let set = stack.set(k);
+            println!(
+                "  K={k}: dim {:?}, chamber volume fraction {:.3}",
+                set.affine_dim(),
+                set.chamber_fraction()
+            );
+        }
+        let (_, kc_ref, ks_ref, e_ref, kw_ref) = *reference
+            .iter()
+            .find(|(n, ..)| *n == basis.name)
+            .expect("reference row");
+        compare(
+            &format!("{} K[CNOT]", basis.name),
+            kc_ref as f64,
+            s.k_cnot.map(|k| k as f64).unwrap_or(f64::NAN),
+        );
+        compare(
+            &format!("{} K[SWAP]", basis.name),
+            ks_ref as f64,
+            s.k_swap.map(|k| k as f64).unwrap_or(f64::NAN),
+        );
+        compare(&format!("{} E[K[Haar]]", basis.name), e_ref, s.e_k_haar);
+        compare(&format!("{} K[W(.47)]", basis.name), kw_ref, s.k_w);
+    }
+}

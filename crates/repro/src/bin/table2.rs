@@ -1,0 +1,36 @@
+//! Table II: speed-limit-scaled decomposition durations (`D[1Q]` = 0).
+
+use paradrive_core::scoring::{duration_table, paper_lambda};
+use paradrive_repro::{fmt, header, row};
+use paradrive_speedlimit::StandardSlf;
+
+fn main() {
+    header("Table II — Decomposition Duration Efficiency (D[1Q]=0)");
+    for slf in StandardSlf::all() {
+        println!("\n[{} speed limit]", slf.as_slf().name());
+        row(&[
+            "basis".into(),
+            "D_Basis".into(),
+            "D[CNOT]".into(),
+            "D[SWAP]".into(),
+            "E[D[Haar]]".into(),
+            "D[W(.47)]".into(),
+        ]);
+        let rows = duration_table(slf.as_slf(), 0.0, paper_lambda())
+            .expect("duration table construction");
+        for r in rows {
+            row(&[
+                r.basis.clone(),
+                fmt(r.d_basis),
+                fmt(r.d_cnot),
+                fmt(r.d_swap),
+                fmt(r.e_d_haar),
+                fmt(r.d_w),
+            ]);
+        }
+    }
+    println!(
+        "\nPaper anchors: linear sqrt_iSWAP E[D[Haar]] ≈ 1.05–1.11; squared sqrt_B 0.99; \
+         SNAIL CNOT D[SWAP] 5.35."
+    );
+}

@@ -1,0 +1,43 @@
+//! Table III: durations with appreciable 1Q gates (`D[1Q]` = 0.25, linear SLF).
+
+use paradrive_core::scoring::{duration_table, paper_lambda};
+use paradrive_repro::{compare, fmt, header, row};
+use paradrive_speedlimit::Linear;
+
+fn main() {
+    header("Table III — Duration Efficiency, D[1Q]=0.25, Linear SLF");
+    let slf = Linear::normalized();
+    let rows = duration_table(&slf, 0.25, paper_lambda()).expect("duration table");
+    row(&[
+        "basis".into(),
+        "D[CNOT]".into(),
+        "D[SWAP]".into(),
+        "E[D[Haar]]".into(),
+        "D[W(.47)]".into(),
+    ]);
+    for r in &rows {
+        row(&[
+            r.basis.clone(),
+            fmt(r.d_cnot),
+            fmt(r.d_swap),
+            fmt(r.e_d_haar),
+            fmt(r.d_w),
+        ]);
+    }
+    println!("\n[paper-vs-measured]");
+    let paper = [
+        ("iSWAP", 2.75, 4.00, 4.00, 3.41),
+        ("sqrt_iSWAP", 1.75, 2.50, 1.91, 2.15),
+        ("CNOT", 1.50, 4.00, 4.00, 2.83),
+        ("sqrt_CNOT", 1.75, 4.75, 2.91, 3.34),
+        ("B", 2.75, 2.75, 2.75, 2.75),
+        ("sqrt_B", 1.75, 3.25, 2.13, 2.55),
+    ];
+    for (name, pc, ps, ph, pw) in paper {
+        let r = rows.iter().find(|r| r.basis == name).unwrap();
+        compare(&format!("{name} D[CNOT]"), pc, r.d_cnot);
+        compare(&format!("{name} D[SWAP]"), ps, r.d_swap);
+        compare(&format!("{name} E[D[Haar]]"), ph, r.e_d_haar);
+        compare(&format!("{name} D[W]"), pw, r.d_w);
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared helpers for the experiment-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; run e.g. `cargo run --release -p paradrive-repro --bin table2`.
+//! The helpers here format aligned tables and paper-vs-measured rows so
+//! EXPERIMENTS.md can quote the output verbatim.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", "-".repeat(title.len() + 6));
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "  n/a".to_string()
+    } else {
+        format!("{v:5.2}")
+    }
+}
+
+/// Prints one aligned row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Prints a "paper vs measured" comparison line.
+pub fn compare(label: &str, paper: f64, measured: f64) {
+    let dev = if paper != 0.0 {
+        format!("{:+.1}%", (measured - paper) / paper * 100.0)
+    } else {
+        "--".to_string()
+    };
+    println!("{label:<28} paper {paper:>7.3}   measured {measured:>7.3}   dev {dev}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(f64::NAN), "  n/a");
+        assert_eq!(fmt(1.5), " 1.50");
+    }
+}

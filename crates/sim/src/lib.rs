@@ -1,0 +1,62 @@
+//! Exact statevector simulation of the circuit IR.
+//!
+//! The transpiler's passes (routing, consolidation) claim to preserve
+//! circuit semantics up to a final qubit permutation; this crate provides
+//! the oracle that *checks* those claims, plus the ideal-distribution
+//! analysis used by Quantum Volume workloads (heavy-output probability).
+//!
+//! Conventions: qubit 0 is the most-significant bit of the state index, so
+//! a two-qubit gate on `(a, b)` treats `a` as the high bit — matching
+//! [`paradrive_circuit::TwoQ::unitary`].
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_circuit::{Circuit, OneQ, TwoQ};
+//! use paradrive_sim::State;
+//!
+//! // A Bell pair: H on qubit 0, then CX(0 → 1).
+//! let mut c = Circuit::new(2);
+//! c.push_1q(OneQ::H, 0);
+//! c.push_2q(TwoQ::Cx, 0, 1);
+//! let state = State::run(&c);
+//! let p = state.probabilities();
+//! assert!((p[0b00] - 0.5).abs() < 1e-12);
+//! assert!((p[0b11] - 0.5).abs() < 1e-12);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+mod state;
+
+pub use density::Density;
+pub use state::{circuit_unitary, heavy_output_probability, State};
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The circuit is wider than this operation supports.
+    TooWide {
+        /// Requested width.
+        qubits: usize,
+        /// Maximum width supported by the operation.
+        max: usize,
+    },
+    /// A permutation did not cover every qubit exactly once.
+    BadPermutation,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TooWide { qubits, max } => {
+                write!(f, "circuit width {qubits} exceeds the supported maximum {max}")
+            }
+            SimError::BadPermutation => write!(f, "invalid qubit permutation"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

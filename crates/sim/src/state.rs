@@ -1,0 +1,412 @@
+//! The statevector and gate application kernels.
+
+use crate::SimError;
+use paradrive_circuit::{Circuit, Op};
+use paradrive_linalg::{C64, CMat};
+use rand::Rng;
+
+/// An `n`-qubit pure state of `2^n` complex amplitudes.
+///
+/// Qubit 0 is the most-significant index bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 26, "statevector width limited to 26 qubits");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        State { n, amps }
+    }
+
+    /// Builds a state from explicit amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the length is a power of two.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let n = amps.len().trailing_zeros() as usize;
+        assert_eq!(1usize << n, amps.len(), "length must be a power of two");
+        State { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes, indexed by computational basis state.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `g` is not 2×2.
+    pub fn apply_1q(&mut self, g: &CMat, q: usize) {
+        assert!(q < self.n, "qubit out of range");
+        assert_eq!((g.rows(), g.cols()), (2, 2));
+        let bit = 1usize << (self.n - 1 - q);
+        let (g00, g01, g10, g11) = (g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]);
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (a, b) = (self.amps[i], self.amps[j]);
+                self.amps[i] = g00 * a + g01 * b;
+                self.amps[j] = g10 * a + g11 * b;
+            }
+        }
+    }
+
+    /// Applies a 4×4 unitary to qubits `(a, b)` with `a` as the high bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on bad indices or a non-4×4 matrix.
+    pub fn apply_2q(&mut self, g: &CMat, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b, "bad qubit pair");
+        assert_eq!((g.rows(), g.cols()), (4, 4));
+        let bit_a = 1usize << (self.n - 1 - a);
+        let bit_b = 1usize << (self.n - 1 - b);
+        for i in 0..self.amps.len() {
+            // Visit each 4-amplitude block once, from its 00 member.
+            if i & bit_a == 0 && i & bit_b == 0 {
+                let idx = [i, i | bit_b, i | bit_a, i | bit_a | bit_b];
+                let old = [
+                    self.amps[idx[0]],
+                    self.amps[idx[1]],
+                    self.amps[idx[2]],
+                    self.amps[idx[3]],
+                ];
+                for (r, &out_i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (c, &amp) in old.iter().enumerate() {
+                        acc += g[(r, c)] * amp;
+                    }
+                    self.amps[out_i] = acc;
+                }
+            }
+        }
+    }
+
+    /// Runs a circuit from `|0…0⟩`.
+    pub fn run(circuit: &Circuit) -> State {
+        let mut s = State::zero(circuit.n_qubits());
+        s.apply_circuit(circuit);
+        s
+    }
+
+    /// Applies every operation of a circuit in order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.n_qubits(), self.n, "width mismatch");
+        for op in circuit.ops() {
+            match op {
+                Op::OneQ { gate, q } => self.apply_1q(&gate.unitary(), *q),
+                Op::TwoQ { gate, a, b } => self.apply_2q(&gate.unitary(), *a, *b),
+            }
+        }
+    }
+
+    /// Measurement probabilities per basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// State norm (should stay 1 under unitary evolution).
+    pub fn norm(&self) -> f64 {
+        self.probabilities().iter().sum::<f64>().sqrt()
+    }
+
+    /// `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        assert_eq!(self.n, other.n, "width mismatch");
+        let ip: C64 = self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum();
+        ip.norm_sqr()
+    }
+
+    /// Expectation of Pauli Z on qubit `q`.
+    pub fn expect_z(&self, q: usize) -> f64 {
+        let bit = 1usize << (self.n - 1 - q);
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let sign = if i & bit == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// Samples one measurement outcome in the computational basis.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, p) in self.probabilities().into_iter().enumerate() {
+            acc += p;
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Relabels qubits: `perm[logical] = physical` — the final layout a
+    /// router reports. Produces the state in which logical qubit `l`'s
+    /// amplitude pattern sits at position `l` again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadPermutation`] if `perm` is not a permutation
+    /// of `0..n`.
+    pub fn permuted(&self, perm: &[usize]) -> Result<State, SimError> {
+        if perm.len() != self.n {
+            return Err(SimError::BadPermutation);
+        }
+        let mut seen = vec![false; self.n];
+        for &p in perm {
+            if p >= self.n || seen[p] {
+                return Err(SimError::BadPermutation);
+            }
+            seen[p] = true;
+        }
+        let mut amps = vec![C64::ZERO; self.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            // Build the index where logical qubit l takes the bit that
+            // currently sits at physical position perm[l].
+            let mut j = 0usize;
+            for (l, &p) in perm.iter().enumerate() {
+                let bit = (i >> (self.n - 1 - p)) & 1;
+                j |= bit << (self.n - 1 - l);
+            }
+            amps[j] = a;
+        }
+        Ok(State { n: self.n, amps })
+    }
+}
+
+/// The full unitary of a circuit, built column by column. Limited to small
+/// widths (≤ 10 qubits) since the result is dense.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooWide`] beyond 10 qubits.
+pub fn circuit_unitary(circuit: &Circuit) -> Result<CMat, SimError> {
+    let n = circuit.n_qubits();
+    if n > 10 {
+        return Err(SimError::TooWide { qubits: n, max: 10 });
+    }
+    let dim = 1usize << n;
+    let mut u = CMat::zeros(dim, dim);
+    for col in 0..dim {
+        let mut s = State {
+            n,
+            amps: {
+                let mut v = vec![C64::ZERO; dim];
+                v[col] = C64::ONE;
+                v
+            },
+        };
+        s.apply_circuit(circuit);
+        for row in 0..dim {
+            u[(row, col)] = s.amplitudes()[row];
+        }
+    }
+    Ok(u)
+}
+
+/// Heavy-output probability of a circuit: the total ideal probability of
+/// outcomes whose probability exceeds the median — the Quantum Volume
+/// success metric (ideal value ≈ (1 + ln 2)/2 ≈ 0.85 for random circuits).
+pub fn heavy_output_probability(circuit: &Circuit) -> f64 {
+    let probs = State::run(circuit).probabilities();
+    let mut sorted = probs.clone();
+    sorted.sort_by(f64::total_cmp);
+    let m = sorted.len();
+    let median = if m.is_multiple_of(2) {
+        0.5 * (sorted[m / 2 - 1] + sorted[m / 2])
+    } else {
+        sorted[m / 2]
+    };
+    probs.into_iter().filter(|&p| p > median).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_circuit::{benchmarks, OneQ, TwoQ};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state() {
+        let s = State::zero(3);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(s.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut c = Circuit::new(2);
+        c.push_1q(OneQ::X, 0);
+        let s = State::run(&c);
+        // Qubit 0 is the high bit → |10⟩ = index 2.
+        assert!((s.probabilities()[2] - 1.0).abs() < 1e-12);
+        assert!((s.expect_z(0) + 1.0).abs() < 1e-12);
+        assert!((s.expect_z(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_structure() {
+        let s = State::run(&benchmarks::ghz(4));
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[15] - 0.5).abs() < 1e-12);
+        assert!(p[1..15].iter().all(|&x| x < 1e-12));
+    }
+
+    #[test]
+    fn swap_gate_swaps() {
+        let mut c = Circuit::new(2);
+        c.push_1q(OneQ::X, 1); // |01⟩
+        c.push_2q(TwoQ::Swap, 0, 1); // |10⟩
+        let s = State::run(&c);
+        assert!((s.probabilities()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_unitary_of_cx() {
+        let mut c = Circuit::new(2);
+        c.push_2q(TwoQ::Cx, 0, 1);
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.approx_eq(&paradrive_weyl::gates::cnot(), 1e-12));
+    }
+
+    #[test]
+    fn circuit_unitary_orientation() {
+        // CX with control on qubit 1 (low bit) is the reversed CNOT.
+        let mut c = Circuit::new(2);
+        c.push_2q(TwoQ::Cx, 1, 0);
+        let u = circuit_unitary(&c).unwrap();
+        let s = paradrive_weyl::gates::swap();
+        let rev = s.mul(&paradrive_weyl::gates::cnot()).mul(&s);
+        assert!(u.approx_eq(&rev, 1e-12));
+    }
+
+    #[test]
+    fn too_wide_unitary_rejected() {
+        let c = Circuit::new(11);
+        assert!(matches!(
+            circuit_unitary(&c),
+            Err(SimError::TooWide { qubits: 11, max: 10 })
+        ));
+    }
+
+    #[test]
+    fn qft_preserves_norm_and_spreads() {
+        let s = State::run(&benchmarks::qft(6));
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+        // QFT of |0…0⟩ is uniform.
+        for p in s.probabilities() {
+            assert!((p - 1.0 / 64.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn permutation_round_trip() {
+        let mut c = Circuit::new(3);
+        c.push_1q(OneQ::H, 0);
+        c.push_2q(TwoQ::Cx, 0, 2);
+        let s = State::run(&c);
+        let id: Vec<usize> = (0..3).collect();
+        assert!(s.permuted(&id).unwrap().fidelity(&s) > 1.0 - 1e-12);
+        // A swap of qubits 0 and 2 twice is the identity.
+        let p = vec![2, 1, 0];
+        let twice = s.permuted(&p).unwrap().permuted(&p).unwrap();
+        assert!(twice.fidelity(&s) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bad_permutations_rejected() {
+        let s = State::zero(2);
+        assert_eq!(s.permuted(&[0]).unwrap_err(), SimError::BadPermutation);
+        assert_eq!(s.permuted(&[0, 0]).unwrap_err(), SimError::BadPermutation);
+        assert_eq!(s.permuted(&[0, 5]).unwrap_err(), SimError::BadPermutation);
+    }
+
+    #[test]
+    fn permutation_matches_swap_network() {
+        // Applying SWAP(0,1) to the state equals relabelling qubits 0↔1.
+        let mut c = Circuit::new(3);
+        c.push_1q(OneQ::H, 0);
+        c.push_1q(OneQ::T, 1);
+        c.push_2q(TwoQ::Cx, 0, 2);
+        let s = State::run(&c);
+        let mut swapped_circuit = c.clone();
+        swapped_circuit.push_2q(TwoQ::Swap, 0, 1);
+        let via_gate = State::run(&swapped_circuit);
+        let via_perm = s.permuted(&[1, 0, 2]).unwrap();
+        assert!(via_gate.fidelity(&via_perm) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn heavy_output_of_uniform_is_zero() {
+        // QFT|0⟩ is uniform: no outcome exceeds the median.
+        assert!(heavy_output_probability(&benchmarks::qft(5)) < 1e-9);
+    }
+
+    #[test]
+    fn heavy_output_of_qv_is_near_085() {
+        // Ideal QV circuits have heavy-output probability ≈ 0.85.
+        let mut acc = 0.0;
+        let trials = 5;
+        for seed in 0..trials {
+            acc += heavy_output_probability(&benchmarks::quantum_volume(8, 8, seed));
+        }
+        let hop = acc / trials as f64;
+        assert!((hop - 0.85).abs() < 0.08, "heavy-output {hop}");
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut c = Circuit::new(1);
+        c.push_1q(OneQ::H, 0);
+        let s = State::run(&c);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ones = (0..2000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!((900..1100).contains(&ones), "{ones} ones");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_random_circuits_preserve_norm(seed in 0u64..200) {
+            let c = benchmarks::quantum_volume(5, 4, seed);
+            let s = State::run(&c);
+            prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_circuit_unitary_is_unitary(seed in 0u64..100) {
+            let c = benchmarks::quantum_volume(4, 3, seed);
+            let u = circuit_unitary(&c).unwrap();
+            prop_assert!(u.is_unitary(1e-8));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The Fig. 3c monitor-qubit break-point sweep, simulated.
+//!
+//! The paper characterizes the SNAIL speed limit by preparing a second
+//! "monitor" qubit in the ground state, pumping gain and conversion
+//! simultaneously at detuned frequencies, and measuring the monitor: an
+//! excited monitor signals that the coupler crossed into chaotic behaviour.
+//! We model the excitation probability as a sigmoid across the boundary
+//! (sharp but not infinitely sharp, as in the measured data) plus a small
+//! residual floor, sweep a grid, and *re-fit* a [`Characterized`] SLF from
+//! the sweep exactly as an experimentalist would.
+
+use crate::{Characterized, SpeedLimit, SpeedLimitError};
+use rand::Rng;
+
+/// A stochastic monitor-qubit model wrapped around a ground-truth SLF.
+#[derive(Debug, Clone)]
+pub struct MonitorQubitModel<S> {
+    slf: S,
+    transition_width: f64,
+    floor: f64,
+}
+
+impl<S: SpeedLimit> MonitorQubitModel<S> {
+    /// Creates a model with the given sigmoid transition width (in drive
+    /// units) and residual excitation floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition_width` is not positive or `floor` is outside
+    /// `[0, 0.5)`.
+    pub fn new(slf: S, transition_width: f64, floor: f64) -> Self {
+        assert!(transition_width > 0.0, "width must be positive");
+        assert!((0.0..0.5).contains(&floor), "floor must be in [0, 0.5)");
+        MonitorQubitModel {
+            slf,
+            transition_width,
+            floor,
+        }
+    }
+
+    /// The ground-truth speed limit.
+    pub fn slf(&self) -> &S {
+        &self.slf
+    }
+
+    /// Probability that the monitor qubit is excited after pumping at
+    /// `(gc, gg)` — approaches 1 deep in the chaotic region and the floor
+    /// deep in the feasible region.
+    pub fn excitation_probability(&self, gc: f64, gg: f64) -> f64 {
+        // Signed distance to the boundary along gg (positive = infeasible).
+        let overdrive = gg - self.slf.boundary(gc);
+        let sig = 1.0 / (1.0 + (-overdrive / self.transition_width).exp());
+        self.floor + (1.0 - self.floor) * sig
+    }
+
+    /// One simulated shot: measures the monitor after pumping at `(gc, gg)`.
+    pub fn measure<R: Rng + ?Sized>(&self, gc: f64, gg: f64, rng: &mut R) -> bool {
+        rng.gen_bool(self.excitation_probability(gc, gg).clamp(0.0, 1.0))
+    }
+
+    /// Sweeps an `nx × ny` grid over `[0, gc_max] × [0, gg_max]`, averaging
+    /// `shots` measurements per point — the Fig. 3c raster.
+    ///
+    /// Returns the grid of excited fractions, row-major with `gg` as the
+    /// slow axis.
+    pub fn sweep<R: Rng + ?Sized>(
+        &self,
+        nx: usize,
+        ny: usize,
+        shots: usize,
+        rng: &mut R,
+    ) -> SweepGrid {
+        assert!(nx >= 2 && ny >= 2 && shots > 0, "degenerate sweep");
+        let gc_max = self.slf.max_gc() * 1.05;
+        let gg_max = (self.slf.max_gg() * 1.6).max(1e-6);
+        let mut values = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            let gg = gg_max * iy as f64 / (ny - 1) as f64;
+            for ix in 0..nx {
+                let gc = gc_max * ix as f64 / (nx - 1) as f64;
+                let excited = (0..shots).filter(|_| self.measure(gc, gg, rng)).count();
+                values.push(excited as f64 / shots as f64);
+            }
+        }
+        SweepGrid {
+            nx,
+            ny,
+            gc_max,
+            gg_max,
+            values,
+        }
+    }
+}
+
+/// The result of a monitor-qubit sweep: excited-state fractions on a grid.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    nx: usize,
+    ny: usize,
+    gc_max: f64,
+    gg_max: f64,
+    values: Vec<f64>,
+}
+
+impl SweepGrid {
+    /// Grid extent along `gc`.
+    pub fn gc_max(&self) -> f64 {
+        self.gc_max
+    }
+
+    /// Grid extent along `gg`.
+    pub fn gg_max(&self) -> f64 {
+        self.gg_max
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Excited fraction at grid index `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of range.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "index out of range");
+        self.values[iy * self.nx + ix]
+    }
+
+    /// The drive coordinates of grid index `(ix, iy)`.
+    pub fn coords(&self, ix: usize, iy: usize) -> (f64, f64) {
+        (
+            self.gc_max * ix as f64 / (self.nx - 1) as f64,
+            self.gg_max * iy as f64 / (self.ny - 1) as f64,
+        )
+    }
+
+    /// Fits a [`Characterized`] SLF from the sweep: for each `gc` column,
+    /// finds the `gg` where the excited fraction first crosses ½ (linear
+    /// interpolation between grid rows), exactly as the white boundary line
+    /// of Fig. 3c is drawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpeedLimitError::InvalidTable`] if the sweep is too noisy
+    /// to yield a monotone boundary.
+    pub fn fit_boundary(&self) -> Result<Characterized, SpeedLimitError> {
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for ix in 0..self.nx {
+            let (gc, _) = self.coords(ix, 0);
+            // Scan up the column for the 1/2 crossing.
+            let mut crossing = None;
+            for iy in 1..self.ny {
+                let lo = self.at(ix, iy - 1);
+                let hi = self.at(ix, iy);
+                if lo < 0.5 && hi >= 0.5 {
+                    let (_, g0) = self.coords(ix, iy - 1);
+                    let (_, g1) = self.coords(ix, iy);
+                    let t = (0.5 - lo) / (hi - lo);
+                    crossing = Some(g0 + t * (g1 - g0));
+                    break;
+                }
+            }
+            let gg = crossing.unwrap_or(0.0);
+            pts.push((gc, gg));
+        }
+        // Enforce monotonicity (running minimum) to absorb shot noise, and
+        // strictly increasing gc is guaranteed by construction.
+        let mut run_min = f64::INFINITY;
+        for p in &mut pts {
+            run_min = run_min.min(p.1);
+            p.1 = run_min;
+        }
+        Characterized::from_points("fitted-boundary", pts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Characterized, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probability_limits() {
+        let m = MonitorQubitModel::new(Linear::normalized(), 0.02, 0.01);
+        // Deep inside the feasible region: near the floor.
+        assert!(m.excitation_probability(0.1, 0.1) < 0.05);
+        // Far beyond the boundary: near 1.
+        assert!(m.excitation_probability(1.5, 1.5) > 0.95);
+    }
+
+    #[test]
+    fn sweep_shape_and_range() {
+        let m = MonitorQubitModel::new(Characterized::snail(), 0.02, 0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        let grid = m.sweep(12, 10, 16, &mut rng);
+        assert_eq!(grid.shape(), (12, 10));
+        for iy in 0..10 {
+            for ix in 0..12 {
+                let v = grid.at(ix, iy);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_boundary_recovers_ground_truth() {
+        let truth = Characterized::snail();
+        let m = MonitorQubitModel::new(truth.clone(), 0.01, 0.005);
+        let mut rng = StdRng::seed_from_u64(7);
+        let grid = m.sweep(24, 64, 200, &mut rng);
+        let fitted = grid.fit_boundary().unwrap();
+        // Compare boundaries at interior gc values.
+        for ix in 1..20 {
+            let gc = truth.max_gc() * ix as f64 / 24.0;
+            let want = truth.boundary(gc);
+            let got = fitted.boundary(gc);
+            assert!(
+                (want - got).abs() < 0.05,
+                "boundary mismatch at gc={gc}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_is_bernoulli_of_probability() {
+        let m = MonitorQubitModel::new(Linear::normalized(), 0.05, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = m.excitation_probability(1.2, 1.2);
+        assert!(p > 0.99);
+        let hits = (0..100).filter(|_| m.measure(1.2, 1.2, &mut rng)).count();
+        assert!(hits > 90);
+    }
+}

@@ -1,0 +1,303 @@
+//! SWAP routing onto a coupling topology.
+//!
+//! A lookahead-greedy router in the SABRE spirit: whenever the next 2Q gate
+//! acts on non-adjacent physical qubits, candidate SWAPs around either
+//! operand are scored by the total distance of a window of upcoming 2Q
+//! gates, and the best (random tie-break) is inserted. Deterministic for a
+//! fixed seed; the paper takes the best of 10 routing runs.
+
+use crate::topology::CouplingMap;
+use crate::TranspileError;
+use paradrive_circuit::{Circuit, Op, TwoQ};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable router heuristics (exposed for the ablation studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOptions {
+    /// How many upcoming 2Q gates the SWAP score looks at (0 = greedy).
+    pub lookahead: usize,
+    /// Decay applied to later gates in the lookahead window.
+    pub decay: f64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions {
+            lookahead: 8,
+            decay: 0.7,
+        }
+    }
+}
+
+/// The result of routing: the physical circuit and bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// The routed circuit over physical qubits; every 2Q gate is adjacent.
+    pub circuit: Circuit,
+    /// Number of SWAPs inserted.
+    pub swaps_inserted: usize,
+    /// Final logical→physical layout.
+    pub layout: Vec<usize>,
+}
+
+/// Routes a logical circuit onto the coupling map.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the circuit is wider than
+/// the device.
+pub fn route(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    seed: u64,
+) -> Result<Routed, TranspileError> {
+    route_with_options(circuit, map, seed, RouterOptions::default())
+}
+
+/// Routes with explicit heuristic options (see [`RouterOptions`]); the
+/// ablation studies sweep the lookahead window through this entry point.
+///
+/// # Errors
+///
+/// Returns [`TranspileError::TooManyQubits`] when the circuit is wider than
+/// the device.
+pub fn route_with_options(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    seed: u64,
+    options: RouterOptions,
+) -> Result<Routed, TranspileError> {
+    if circuit.n_qubits() > map.n_qubits() {
+        return Err(TranspileError::TooManyQubits {
+            circuit: circuit.n_qubits(),
+            device: map.n_qubits(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_phys = map.n_qubits();
+    // logical -> physical (trivial initial layout).
+    let mut layout: Vec<usize> = (0..n_phys).collect();
+
+    // Upcoming 2Q gates per op index, for the lookahead score.
+    let two_q_indices: Vec<usize> = circuit
+        .ops()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| matches!(op, Op::TwoQ { .. }).then_some(i))
+        .collect();
+
+    let mut out = Circuit::new(n_phys);
+    let mut swaps_inserted = 0usize;
+    let mut next_2q_cursor = 0usize; // index into two_q_indices
+
+    for (op_idx, op) in circuit.ops().iter().enumerate() {
+        while next_2q_cursor < two_q_indices.len() && two_q_indices[next_2q_cursor] < op_idx {
+            next_2q_cursor += 1;
+        }
+        match op {
+            Op::OneQ { gate, q } => {
+                out.push_1q(*gate, layout[*q]);
+            }
+            Op::TwoQ { gate, a, b } => {
+                // Insert SWAPs until the operands are adjacent.
+                let mut guard = 0;
+                while !map.are_adjacent(layout[*a], layout[*b]) {
+                    guard += 1;
+                    assert!(
+                        guard <= 4 * n_phys,
+                        "router failed to converge; topology bug?"
+                    );
+                    let swap = best_swap(
+                        circuit,
+                        map,
+                        &layout,
+                        &two_q_indices[next_2q_cursor..],
+                        (*a, *b),
+                        options,
+                        &mut rng,
+                    );
+                    out.push_2q(TwoQ::Swap, swap.0, swap.1);
+                    swaps_inserted += 1;
+                    // Update layout: find logicals at those physicals.
+                    let la = layout.iter().position(|&p| p == swap.0);
+                    let lb = layout.iter().position(|&p| p == swap.1);
+                    if let (Some(la), Some(lb)) = (la, lb) {
+                        layout.swap(la, lb);
+                    }
+                }
+                out.push_2q(gate.clone(), layout[*a], layout[*b]);
+            }
+        }
+    }
+    Ok(Routed {
+        circuit: out,
+        swaps_inserted,
+        layout,
+    })
+}
+
+/// Scores candidate SWAPs adjacent to the two operands of the blocked gate
+/// and returns the best `(physical, physical)` pair.
+fn best_swap(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    layout: &[usize],
+    upcoming: &[usize],
+    blocked: (usize, usize),
+    options: RouterOptions,
+    rng: &mut StdRng,
+) -> (usize, usize) {
+    let (la, lb) = blocked;
+    let pa = layout[la];
+    let pb = layout[lb];
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for &p in [pa, pb].iter() {
+        for &nb in map.neighbors(p) {
+            let c = (p.min(nb), p.max(nb));
+            if !candidates.contains(&c) {
+                candidates.push(c);
+            }
+        }
+    }
+
+    let mut best: Vec<(usize, usize)> = Vec::new();
+    let mut best_score = f64::INFINITY;
+    for &(x, y) in &candidates {
+        // Apply the candidate swap to a scratch layout.
+        let mut scratch = layout.to_vec();
+        let lx = scratch.iter().position(|&p| p == x);
+        let ly = scratch.iter().position(|&p| p == y);
+        if let (Some(lx), Some(ly)) = (lx, ly) {
+            scratch.swap(lx, ly);
+        }
+        // Primary term: the blocked gate's distance; lookahead term: the
+        // decayed distances of upcoming 2Q gates.
+        let mut score = map.distance(scratch[la], scratch[lb]) as f64 * 2.0;
+        let mut weight = 1.0;
+        for &gi in upcoming.iter().take(options.lookahead) {
+            if let Op::TwoQ { a, b, .. } = &circuit.ops()[gi] {
+                score += weight * map.distance(scratch[*a], scratch[*b]) as f64;
+                weight *= options.decay;
+            }
+        }
+        if score < best_score - 1e-12 {
+            best_score = score;
+            best = vec![(x, y)];
+        } else if (score - best_score).abs() <= 1e-12 {
+            best.push((x, y));
+        }
+    }
+    best[rng.gen_range(0..best.len())]
+}
+
+/// Routes with `n_seeds` different seeds and returns the run with the
+/// fewest inserted SWAPs — the paper's "best outcome from 10 transpiler
+/// runs".
+///
+/// # Errors
+///
+/// Propagates the first routing failure.
+pub fn route_best_of(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    n_seeds: u64,
+) -> Result<Routed, TranspileError> {
+    let mut best: Option<Routed> = None;
+    for seed in 0..n_seeds.max(1) {
+        let r = route(circuit, map, seed)?;
+        if best
+            .as_ref()
+            .is_none_or(|b| r.swaps_inserted < b.swaps_inserted)
+        {
+            best = Some(r);
+        }
+    }
+    Ok(best.expect("at least one seed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_circuit::benchmarks;
+    use paradrive_circuit::OneQ;
+
+    fn all_2q_adjacent(c: &Circuit, map: &CouplingMap) -> bool {
+        c.ops().iter().all(|op| match op {
+            Op::TwoQ { a, b, .. } => map.are_adjacent(*a, *b),
+            _ => true,
+        })
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let map = CouplingMap::grid(4, 4);
+        let mut c = Circuit::new(16);
+        c.push_2q(TwoQ::Cx, 0, 1);
+        c.push_2q(TwoQ::Cx, 5, 9);
+        let r = route(&c, &map, 0).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+        assert!(all_2q_adjacent(&r.circuit, &map));
+    }
+
+    #[test]
+    fn distant_gate_gets_routed() {
+        let map = CouplingMap::grid(4, 4);
+        let mut c = Circuit::new(16);
+        c.push_2q(TwoQ::Cx, 0, 15); // distance 6
+        let r = route(&c, &map, 0).unwrap();
+        assert!(r.swaps_inserted >= 5, "too few swaps: {}", r.swaps_inserted);
+        assert!(all_2q_adjacent(&r.circuit, &map));
+    }
+
+    #[test]
+    fn one_q_gates_pass_through() {
+        let map = CouplingMap::grid(2, 2);
+        let mut c = Circuit::new(4);
+        c.push_1q(OneQ::H, 2);
+        let r = route(&c, &map, 0).unwrap();
+        assert_eq!(r.circuit.one_q_count(), 1);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let map = CouplingMap::grid(2, 2);
+        let c = Circuit::new(9);
+        assert!(matches!(
+            route(&c, &map, 0),
+            Err(TranspileError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn full_benchmark_routes_cleanly() {
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::qft(16);
+        let r = route(&c, &map, 1).unwrap();
+        assert!(all_2q_adjacent(&r.circuit, &map));
+        // QFT's all-to-all CPhases on a lattice need plenty of SWAPs.
+        assert!(r.swaps_inserted > 20);
+        // 2Q gate count grows exactly by the inserted swaps.
+        assert_eq!(
+            r.circuit.two_q_count(),
+            c.two_q_count() + r.swaps_inserted
+        );
+    }
+
+    #[test]
+    fn best_of_seeds_not_worse_than_first() {
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::qft(16);
+        let first = route(&c, &map, 0).unwrap();
+        let best = route_best_of(&c, &map, 10).unwrap();
+        assert!(best.swaps_inserted <= first.swaps_inserted);
+    }
+
+    #[test]
+    fn ghz_on_line_needs_no_swaps() {
+        let map = CouplingMap::line(16);
+        let c = benchmarks::ghz(16);
+        let r = route(&c, &map, 0).unwrap();
+        assert_eq!(r.swaps_inserted, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Device coupling topologies.
+
+use crate::TranspileError;
+
+/// An undirected qubit-coupling graph with an all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct CouplingMap {
+    n: usize,
+    adjacency: Vec<Vec<usize>>,
+    dist: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranspileError::DisconnectedTopology`] when the graph does
+    /// not connect all `n` qubits.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, TranspileError> {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n && a != b, "invalid edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        // BFS all-pairs distances.
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        #[allow(clippy::needless_range_loop)] // `s` is both index and BFS source
+        for s in 0..n {
+            let mut queue = std::collections::VecDeque::new();
+            dist[s][s] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adjacency[u] {
+                    if dist[s][v] == usize::MAX {
+                        dist[s][v] = dist[s][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if dist[s].contains(&usize::MAX) {
+                return Err(TranspileError::DisconnectedTopology);
+            }
+        }
+        Ok(CouplingMap { n, adjacency, dist })
+    }
+
+    /// The `rows × cols` square-lattice topology (the paper uses 4×4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0);
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        CouplingMap::from_edges(n, &edges).expect("grid is connected")
+    }
+
+    /// A linear chain of `n` qubits.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CouplingMap::from_edges(n, &edges).expect("line is connected")
+    }
+
+    /// Number of physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance between two physical qubits.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.dist[a][b]
+    }
+
+    /// True when two physical qubits are directly coupled.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.dist[a][b] == 1
+    }
+
+    /// Neighbors of a physical qubit.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_4x4_shape() {
+        let g = CouplingMap::grid(4, 4);
+        assert_eq!(g.n_qubits(), 16);
+        // Corner has 2 neighbors, edge 3, interior 4.
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(1).len(), 3);
+        assert_eq!(g.neighbors(5).len(), 4);
+        // Manhattan distances.
+        assert_eq!(g.distance(0, 15), 6);
+        assert_eq!(g.distance(0, 3), 3);
+        assert!(g.are_adjacent(0, 1));
+        assert!(g.are_adjacent(0, 4));
+        assert!(!g.are_adjacent(0, 5));
+    }
+
+    #[test]
+    fn line_distances() {
+        let l = CouplingMap::line(5);
+        assert_eq!(l.distance(0, 4), 4);
+        assert!(l.are_adjacent(2, 3));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let r = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(matches!(r, Err(TranspileError::DisconnectedTopology)));
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let g = CouplingMap::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Haar-random two-qubit gates and their chamber statistics.
+//!
+//! The paper's `E[Haar]` scores average decomposition costs over the Haar
+//! measure on `U(4)`. Pushing Haar-random unitaries through the coordinate
+//! map induces the (non-uniform) Haar density on the Weyl chamber, which
+//! weights the perfect-entangler interior more heavily than the `I` and
+//! `SWAP` vertices.
+
+use crate::coord::WeylPoint;
+use crate::magic::coordinates;
+use paradrive_linalg::qr::random_unitary;
+use rand::Rng;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Samples a Haar-random two-qubit unitary.
+pub fn random_gate<R: Rng + ?Sized>(rng: &mut R) -> paradrive_linalg::CMat {
+    random_unitary(4, rng)
+}
+
+/// Samples the chamber coordinate of a Haar-random two-qubit gate.
+///
+/// # Panics
+///
+/// Panics only if the coordinate extraction fails, which cannot happen for
+/// the unitaries produced by [`random_gate`].
+pub fn random_point<R: Rng + ?Sized>(rng: &mut R) -> WeylPoint {
+    coordinates(&random_gate(rng)).expect("Haar unitary must have coordinates")
+}
+
+/// Samples `n` Haar coordinates.
+pub fn sample_points<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<WeylPoint> {
+    (0..n).map(|_| random_point(rng)).collect()
+}
+
+/// Samples a point uniformly (by volume, not Haar) inside the canonical
+/// chamber tetrahedron via rejection from the bounding box.
+///
+/// Useful for seeding coverage-region estimation where uniform spatial
+/// coverage matters more than the physical gate distribution.
+pub fn uniform_chamber_point<R: Rng + ?Sized>(rng: &mut R) -> WeylPoint {
+    loop {
+        let c1 = rng.gen_range(0.0..PI);
+        let c2 = rng.gen_range(0.0..FRAC_PI_2);
+        let c3 = rng.gen_range(0.0..FRAC_PI_2);
+        let p = WeylPoint::new(c1, c2, c3);
+        if p.in_chamber(0.0) {
+            return p;
+        }
+    }
+}
+
+/// Monte-Carlo expectation of `f` over Haar-random chamber coordinates.
+pub fn haar_expectation<R: Rng + ?Sized>(
+    n: usize,
+    rng: &mut R,
+    mut f: impl FnMut(WeylPoint) -> f64,
+) -> f64 {
+    assert!(n > 0, "expectation over zero samples");
+    (0..n).map(|_| f(random_point(rng))).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_points_in_chamber() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(random_point(&mut rng).in_chamber(1e-7));
+        }
+    }
+
+    #[test]
+    fn haar_favors_perfect_entanglers() {
+        // A Haar-random 2Q gate is a perfect entangler with probability
+        // ≈ 84.7% (Watts et al.) — the PE polytope is half the chamber
+        // volume but carries most of the Haar mass.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400;
+        let pe = sample_points(n, &mut rng)
+            .into_iter()
+            .filter(|p| p.is_perfect_entangler(1e-9))
+            .count();
+        let frac = pe as f64 / n as f64;
+        assert!(
+            (0.75..0.93).contains(&frac),
+            "PE fraction {frac} far from the expected ~0.85"
+        );
+    }
+
+    #[test]
+    fn uniform_chamber_points_valid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(uniform_chamber_point(&mut rng).in_chamber(0.0));
+        }
+    }
+
+    #[test]
+    fn haar_rarely_near_vertices() {
+        // I and SWAP vertices carry vanishing Haar density.
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = sample_points(300, &mut rng);
+        let near_vertex = pts
+            .iter()
+            .filter(|p| {
+                p.chamber_dist(WeylPoint::IDENTITY) < 0.15
+                    || p.chamber_dist(WeylPoint::SWAP) < 0.15
+            })
+            .count();
+        assert!(near_vertex < 10, "{near_vertex} samples near vertices");
+    }
+
+    #[test]
+    fn expectation_of_constant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let e = haar_expectation(10, &mut rng, |_| 2.5);
+        assert!((e - 2.5).abs() < 1e-12);
+    }
+}

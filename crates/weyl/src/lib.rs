@@ -1,0 +1,90 @@
+//! Weyl chamber geometry for two-qubit gates.
+//!
+//! Every two-qubit unitary is, up to single-qubit ("local") gates, a
+//! *canonical gate* `CAN(c1, c2, c3) = exp(-i/2 (c1·XX + c2·YY + c3·ZZ))`.
+//! The triple `(c1, c2, c3)`, reduced to a fundamental domain called the
+//! **Weyl chamber**, labels the local-equivalence class of the gate and fully
+//! determines its two-qubit "computing power". This crate implements:
+//!
+//! - [`WeylPoint`] — a chamber coordinate with canonicalization and the
+//!   perfect-entangler predicate,
+//! - [`coordinates`](magic::coordinates) — the unitary → coordinate map via
+//!   the magic-basis gamma-matrix spectrum,
+//! - [`invariants`] — the Makhlin local invariants `(g1, g2, g3)`,
+//! - [`gates`] — the named 2Q gate zoo of the paper (iSWAP, √iSWAP, CNOT,
+//!   √CNOT, B, √B, SWAP, …) and fractional-pulse variants,
+//! - [`haar`] — Haar-random 2Q gate/coordinate sampling,
+//! - [`trajectory`] — Cartan trajectories (Fig. 1 of the paper).
+//!
+//! Units: radians, with `SWAP = (π/2, π/2, π/2)` and the chamber tetrahedron
+//! spanned by `I = (0,0,0)`, `CAN(π,0,0) ≅ I`, `iSWAP = (π/2, π/2, 0)` and
+//! `SWAP`.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_weyl::{gates, magic::coordinates, WeylPoint};
+//!
+//! let pt = coordinates(&gates::cnot()).unwrap();
+//! assert!(pt.approx_eq(WeylPoint::CNOT, 1e-9));
+//! assert!(pt.is_perfect_entangler(1e-9));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod gates;
+pub mod haar;
+pub mod invariants;
+pub mod kak;
+pub mod magic;
+pub mod trajectory;
+
+pub use coord::WeylPoint;
+pub use invariants::MakhlinInvariants;
+
+/// Errors produced by Weyl-chamber computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WeylError {
+    /// The input matrix was not 4×4.
+    NotTwoQubit(usize, usize),
+    /// The input matrix was not unitary to the required tolerance.
+    NotUnitary(f64),
+    /// An underlying linear-algebra routine failed.
+    Linalg(paradrive_linalg::LinalgError),
+    /// The gamma-matrix diagonalization failed to produce a clean spectrum.
+    DegenerateSpectrum,
+}
+
+impl std::fmt::Display for WeylError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeylError::NotTwoQubit(r, c) => {
+                write!(f, "expected a 4x4 two-qubit unitary, got {r}x{c}")
+            }
+            WeylError::NotUnitary(dev) => {
+                write!(f, "matrix is not unitary (deviation {dev:.2e})")
+            }
+            WeylError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            WeylError::DegenerateSpectrum => {
+                write!(f, "gamma-matrix spectrum could not be resolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeylError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WeylError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<paradrive_linalg::LinalgError> for WeylError {
+    fn from(e: paradrive_linalg::LinalgError) -> Self {
+        WeylError::Linalg(e)
+    }
+}

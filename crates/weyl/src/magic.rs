@@ -1,0 +1,334 @@
+//! Magic-basis machinery: the unitary → Weyl-coordinate map.
+//!
+//! In the *magic* (phased-Bell) basis, local gates become real orthogonal
+//! matrices, so the spectrum of the gamma matrix `γ = M Mᵀ`
+//! (with `M = Q† U Q`, `U ∈ SU(4)`) is a complete local invariant. Its four
+//! unit-modulus eigenphases, suitably folded, yield the canonical chamber
+//! coordinates. This is the classic construction of Makhlin and
+//! Zhang–Vala–Sastry–Whaley, implemented here with a simultaneous
+//! real-diagonalization eigensolver that is robust to the degenerate spectra
+//! of Clifford gates.
+
+use crate::coord::WeylPoint;
+use crate::WeylError;
+use paradrive_linalg::eig::eigh;
+use paradrive_linalg::{C64, CMat};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// The magic-basis change-of-basis matrix `Q` (Makhlin's convention):
+///
+/// ```text
+///       1  [ 1   0   0   i ]
+/// Q = ───  [ 0   i   1   0 ]
+///      √2  [ 0   i  -1   0 ]
+///          [ 1   0   0  -i ]
+/// ```
+pub fn magic_basis() -> CMat {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let z = C64::ZERO;
+    let r = C64::real(s);
+    let i = C64::new(0.0, s);
+    CMat::from_rows(&[
+        &[r, z, z, i],
+        &[z, i, r, z],
+        &[z, i, -r, z],
+        &[r, z, z, -i],
+    ])
+}
+
+/// Projects a 4×4 unitary into `SU(4)` by dividing out `det(U)^{1/4}`.
+///
+/// # Errors
+///
+/// Returns [`WeylError::NotTwoQubit`] or [`WeylError::NotUnitary`] on invalid
+/// input.
+pub fn to_su4(u: &CMat) -> Result<CMat, WeylError> {
+    if u.rows() != 4 || u.cols() != 4 {
+        return Err(WeylError::NotTwoQubit(u.rows(), u.cols()));
+    }
+    let dev = u
+        .adjoint()
+        .mul(u)
+        .sub(&CMat::identity(4))
+        .max_abs();
+    if dev > 1e-8 {
+        return Err(WeylError::NotUnitary(dev));
+    }
+    let det = u.det();
+    Ok(u.scale(det.powf(-0.25)))
+}
+
+/// The gamma matrix `γ = M Mᵀ` with `M = Q† U Q`, `U` already in `SU(4)`.
+///
+/// `γ` is unitary and symmetric; its spectrum is invariant under local gates.
+pub fn gamma(su4: &CMat) -> CMat {
+    let q = magic_basis();
+    let m = q.adjoint().mul(su4).mul(&q);
+    m.mul(&m.transpose())
+}
+
+/// Eigenphases of a unitary *symmetric* matrix, via simultaneous
+/// diagonalization of its commuting Hermitian real and imaginary parts.
+///
+/// Robust to the degenerate spectra that defeat polynomial root finding
+/// (e.g. the fourfold eigenvalue of the identity's gamma matrix).
+fn unitary_symmetric_eigenphases(g: &CMat) -> Result<Vec<f64>, WeylError> {
+    let re = g.add(&g.adjoint()).scale(C64::real(0.5));
+    let im = g.sub(&g.adjoint()).scale(C64::new(0.0, -0.5));
+    // A generic combination splits degeneracies of cos θ while preserving
+    // the shared eigenbasis (Re γ and Im γ commute).
+    for mu in [0.375_664_68, 0.104_729_33, 0.771_238_11] {
+        let h = re.add(&im.scale(C64::real(mu)));
+        let e = eigh(&h).map_err(WeylError::Linalg)?;
+        let d = e.vectors.adjoint().mul(g).mul(&e.vectors);
+        // Check the conjugation actually diagonalized γ.
+        let mut off = 0.0_f64;
+        for r in 0..4 {
+            for c in 0..4 {
+                if r != c {
+                    off = off.max(d[(r, c)].norm());
+                }
+            }
+        }
+        if off < 1e-8 {
+            return Ok((0..4).map(|k| d[(k, k)].arg()).collect());
+        }
+    }
+    Err(WeylError::DegenerateSpectrum)
+}
+
+/// Computes the canonical Weyl-chamber coordinates of a two-qubit unitary.
+///
+/// Implements the standard eigenphase-folding recipe: phases of the gamma
+/// spectrum are halved, sorted, shifted by the integer winding, and combined
+/// pairwise into `(c1, c2, c3)`; a final reflection maps into the chamber.
+///
+/// # Errors
+///
+/// Returns [`WeylError`] if the input is not a 4×4 unitary or the spectrum
+/// cannot be resolved.
+///
+/// # Example
+///
+/// ```
+/// use paradrive_weyl::{gates, magic::coordinates, WeylPoint};
+/// let pt = coordinates(&gates::iswap()).unwrap();
+/// assert!(pt.approx_eq(WeylPoint::ISWAP, 1e-9));
+/// ```
+pub fn coordinates(u: &CMat) -> Result<WeylPoint, WeylError> {
+    let su4 = to_su4(u)?;
+    let g = gamma(&su4);
+    let phases = unitary_symmetric_eigenphases(&g)?;
+
+    // two_s[k] = arg(λ_k)/π ∈ (-1, 1]; fold into (-1/2, 3/2].
+    let mut two_s: Vec<f64> = phases.iter().map(|&p| p / PI).collect();
+    for v in &mut two_s {
+        if *v <= -0.5 {
+            *v += 2.0;
+        }
+    }
+    // s ∈ (-1/4, 3/4]; Σs ≡ 0 (mod 1) because det(γ) = 1.
+    let mut s: Vec<f64> = two_s.iter().map(|&v| v / 2.0).collect();
+    s.sort_by(|a, b| b.total_cmp(a));
+    let n = s.iter().sum::<f64>().round() as i64;
+    let n = n.clamp(0, 4) as usize;
+    for v in s.iter_mut().take(n) {
+        *v -= 1.0;
+    }
+    // After subtracting 1 from the n largest entries, rotating by n restores
+    // decreasing order.
+    s.rotate_left(n);
+
+    let mut c1 = PI * (s[0] + s[1]);
+    let mut c2 = PI * (s[0] + s[2]);
+    let mut c3 = PI * (s[1] + s[2]);
+    // Reflect into the chamber when the third coordinate is negative.
+    if c3 < 0.0 {
+        c1 = PI - c1;
+        c3 = -c3;
+    }
+    // Snap tiny numerical dust so that exact gates land exactly.
+    let snap = |x: f64| if x.abs() < 5e-10 { 0.0 } else { x };
+    c1 = snap(c1);
+    c2 = snap(c2);
+    c3 = snap(c3);
+    // c2/c3 ordering can be perturbed by noise at degeneracies; restore it.
+    if c3 > c2 {
+        std::mem::swap(&mut c2, &mut c3);
+    }
+    // On the base plane the mirror identification (c1,c2,0) ~ (π−c1,c2,0)
+    // holds (conjugates share their Makhlin invariants there); fold to the
+    // left half for a unique representative.
+    if c3 < 1e-9 && c1 > FRAC_PI_2 {
+        c1 = PI - c1;
+    }
+    Ok(WeylPoint::new(c1, c2, c3))
+}
+
+/// Canonicalizes raw coordinates by building the canonical gate and mapping
+/// it back through [`coordinates`]. Any real triple is accepted.
+///
+/// # Errors
+///
+/// Propagates [`WeylError`] from the coordinate extraction (does not occur
+/// for finite input).
+pub fn canonicalize(raw: WeylPoint) -> Result<WeylPoint, WeylError> {
+    coordinates(&crate::gates::can(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use paradrive_linalg::paulis;
+    use paradrive_linalg::qr::random_su2;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    const TOL: f64 = 1e-8;
+
+    #[test]
+    fn magic_basis_is_unitary() {
+        assert!(magic_basis().is_unitary(1e-14));
+    }
+
+    #[test]
+    fn to_su4_has_unit_det() {
+        let u = gates::cnot();
+        let s = to_su4(&u).unwrap();
+        assert!(s.det().approx_eq(C64::ONE, 1e-10));
+    }
+
+    #[test]
+    fn to_su4_rejects_bad_input() {
+        assert!(matches!(
+            to_su4(&CMat::identity(2)),
+            Err(WeylError::NotTwoQubit(2, 2))
+        ));
+        let junk = CMat::identity(4).scale(C64::real(2.0));
+        assert!(matches!(to_su4(&junk), Err(WeylError::NotUnitary(_))));
+    }
+
+    #[test]
+    fn named_gate_coordinates() {
+        let cases = [
+            (gates::identity(), WeylPoint::IDENTITY),
+            (gates::cnot(), WeylPoint::CNOT),
+            (gates::cz(), WeylPoint::CNOT),
+            (gates::iswap(), WeylPoint::ISWAP),
+            (gates::sqrt_iswap(), WeylPoint::SQRT_ISWAP),
+            (gates::swap(), WeylPoint::SWAP),
+            (gates::b_gate(), WeylPoint::B),
+            (gates::sqrt_cnot(), WeylPoint::SQRT_CNOT),
+            (gates::sqrt_b(), WeylPoint::SQRT_B),
+            (gates::sqrt_swap(), WeylPoint::SQRT_SWAP),
+        ];
+        for (u, expected) in cases {
+            let pt = coordinates(&u).unwrap();
+            assert!(
+                pt.approx_eq(expected, TOL),
+                "expected {expected}, got {pt}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_phase_invariance() {
+        let u = gates::b_gate().scale(C64::cis(1.234));
+        let pt = coordinates(&u).unwrap();
+        assert!(pt.approx_eq(WeylPoint::B, TOL));
+    }
+
+    #[test]
+    fn local_gates_have_identity_coordinates() {
+        let u = paulis::tensor(&paulis::h(), &paulis::t());
+        let pt = coordinates(&u).unwrap();
+        assert!(
+            pt.approx_eq(WeylPoint::IDENTITY, TOL) || (pt.c1 - PI).abs() < TOL,
+            "local gate mapped to {pt}"
+        );
+    }
+
+    #[test]
+    fn canonicalize_reflects_base_plane() {
+        // (3π/4, π/4, 0) is the mirror of √iSWAP‡... it is its own canonical
+        // point (the chamber extends to c1 = π on the base plane).
+        let p = canonicalize(WeylPoint::new(3.0 * FRAC_PI_4, FRAC_PI_4, 0.0)).unwrap();
+        assert!(p.in_chamber(TOL));
+        // And a negative c3 must fold back inside.
+        let q = canonicalize(WeylPoint::new(FRAC_PI_2, FRAC_PI_4, -FRAC_PI_4 / 2.0)).unwrap();
+        assert!(q.in_chamber(TOL), "folded to {q}");
+    }
+
+    #[test]
+    fn fractional_iswap_moves_linearly() {
+        for n in [2u32, 3, 4, 8] {
+            let u = gates::nth_root_iswap(n);
+            let pt = coordinates(&u).unwrap();
+            let expected = WeylPoint::ISWAP.scaled(1.0 / n as f64);
+            assert!(pt.approx_eq(expected, TOL), "n={n}: {pt}");
+        }
+    }
+
+    fn random_local(rng: &mut StdRng) -> CMat {
+        paulis::tensor(&random_su2(rng), &random_su2(rng))
+    }
+
+    #[test]
+    fn local_invariance_of_coordinates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for gate in [gates::cnot(), gates::sqrt_iswap(), gates::b_gate()] {
+            let base = coordinates(&gate).unwrap();
+            for _ in 0..8 {
+                let k1 = random_local(&mut rng);
+                let k2 = random_local(&mut rng);
+                let dressed = k1.mul(&gate).mul(&k2);
+                let pt = coordinates(&dressed).unwrap();
+                assert!(
+                    pt.approx_eq(base, 1e-6),
+                    "local dressing moved {base} to {pt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjugate_maps_to_same_point() {
+        // U and U† (conjugation ≅ reversed execution) share a canonical point
+        // on the base plane via the mirror identification.
+        let u = gates::sqrt_iswap();
+        let p = coordinates(&u).unwrap();
+        let q = coordinates(&u.adjoint()).unwrap();
+        assert!(p.chamber_dist(q) < 1e-6, "p={p} q={q}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_can_round_trip(
+            a in 0.0..FRAC_PI_2,
+            f2 in 0.0..1.0f64,
+            f3 in 0.0..1.0f64,
+        ) {
+            // Build a point already in the chamber: c1 ≥ c2 ≥ c3 ≥ 0, c1+c2 ≤ π.
+            let c2 = a * f2;
+            let c3 = c2 * f3;
+            let p = WeylPoint::new(a, c2, c3);
+            let rt = coordinates(&gates::can(p)).unwrap();
+            prop_assert!(
+                rt.approx_eq(p, 1e-6) || rt.chamber_dist(p) < 1e-6,
+                "round trip {} -> {}", p, rt
+            );
+        }
+
+        #[test]
+        fn prop_coordinates_always_in_chamber(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let u = paradrive_linalg::qr::random_unitary(4, &mut rng);
+            let pt = coordinates(&u).unwrap();
+            prop_assert!(pt.in_chamber(1e-7), "{} outside chamber", pt);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Cartan trajectories: the path of the accumulated unitary through the
+//! Weyl chamber (Fig. 1 and Fig. 8d of the paper).
+//!
+//! A 2Q pulse of duration `T` traces a curve `t ↦ coords(U(t))` from the
+//! identity vertex to the target class. Without parallel drive the curve is
+//! a straight ray for conversion/gain driving; with parallel drive it bends.
+
+use crate::coord::WeylPoint;
+use crate::magic::coordinates;
+use crate::WeylError;
+use paradrive_linalg::CMat;
+
+/// A sampled Cartan trajectory.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    points: Vec<WeylPoint>,
+}
+
+impl Trajectory {
+    /// Maps a sequence of accumulated unitaries `U(t_k)` to chamber points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first coordinate-extraction failure.
+    pub fn from_unitaries<'a>(
+        unitaries: impl IntoIterator<Item = &'a CMat>,
+    ) -> Result<Self, WeylError> {
+        let points = unitaries
+            .into_iter()
+            .map(coordinates)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trajectory { points })
+    }
+
+    /// Creates a trajectory directly from points.
+    pub fn from_points(points: Vec<WeylPoint>) -> Self {
+        Trajectory { points }
+    }
+
+    /// The sampled points, in time order.
+    pub fn points(&self) -> &[WeylPoint] {
+        &self.points
+    }
+
+    /// Total polyline arc length in coordinate space.
+    pub fn arc_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].dist(w[1]))
+            .sum()
+    }
+
+    /// Maximum deviation of interior points from the straight chord between
+    /// the first and last point — zero for straight (non-parallel-driven)
+    /// conversion/gain rays, positive for parallel-driven curves.
+    pub fn chord_deviation(&self) -> f64 {
+        let (Some(&a), Some(&b)) = (self.points.first(), self.points.last()) else {
+            return 0.0;
+        };
+        let ab = [b.c1 - a.c1, b.c2 - a.c2, b.c3 - a.c3];
+        let len_sq: f64 = ab.iter().map(|x| x * x).sum();
+        self.points
+            .iter()
+            .map(|p| {
+                let ap = [p.c1 - a.c1, p.c2 - a.c2, p.c3 - a.c3];
+                if len_sq < 1e-18 {
+                    return (ap.iter().map(|x| x * x).sum::<f64>()).sqrt();
+                }
+                let t = (ap[0] * ab[0] + ap[1] * ab[1] + ap[2] * ab[2]) / len_sq;
+                let proj = [a.c1 + t * ab[0], a.c2 + t * ab[1], a.c3 + t * ab[2]];
+                let d = [p.c1 - proj[0], p.c2 - proj[1], p.c3 - proj[2]];
+                (d.iter().map(|x| x * x).sum::<f64>()).sqrt()
+            })
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Final point of the trajectory, if non-empty.
+    pub fn end(&self) -> Option<WeylPoint> {
+        self.points.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn conversion_ray_is_straight() {
+        // iSWAP^t for t in [0, 1] walks the straight edge I → iSWAP.
+        let us: Vec<CMat> = (0..=10).map(|k| gates::iswap_frac(k as f64 / 10.0)).collect();
+        let traj = Trajectory::from_unitaries(&us).unwrap();
+        assert!(traj.chord_deviation() < 1e-7, "deviation {}", traj.chord_deviation());
+        assert!(traj.end().unwrap().approx_eq(WeylPoint::ISWAP, 1e-8));
+        // Arc length equals the I→iSWAP distance: π/√2.
+        let expected = WeylPoint::IDENTITY.dist(WeylPoint::ISWAP);
+        assert!((traj.arc_length() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cnot_family_ray_is_straight() {
+        let us: Vec<CMat> = (0..=10).map(|k| gates::cnot_frac(k as f64 / 10.0)).collect();
+        let traj = Trajectory::from_unitaries(&us).unwrap();
+        assert!(traj.chord_deviation() < 1e-7);
+        assert!(traj.end().unwrap().approx_eq(WeylPoint::CNOT, 1e-8));
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let traj = Trajectory::from_points(Vec::new());
+        assert_eq!(traj.arc_length(), 0.0);
+        assert_eq!(traj.chord_deviation(), 0.0);
+        assert!(traj.end().is_none());
+    }
+
+    #[test]
+    fn bent_polyline_has_positive_deviation() {
+        let traj = Trajectory::from_points(vec![
+            WeylPoint::IDENTITY,
+            WeylPoint::new(0.5, 0.4, 0.0),
+            WeylPoint::CNOT,
+        ]);
+        assert!(traj.chord_deviation() > 0.3);
+    }
+}

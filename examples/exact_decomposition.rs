@@ -1,0 +1,38 @@
+//! Exact KAK decomposition of an arbitrary two-qubit unitary, verified by
+//! simulation: `U = phase · (a1 ⊗ b1) · CAN(c) · (a2 ⊗ b2)`.
+//!
+//! Run with `cargo run --release --example exact_decomposition`.
+
+use paradrive::linalg::mat::process_fidelity;
+use paradrive::linalg::qr::random_unitary;
+use paradrive::weyl::kak::kak;
+use paradrive::weyl::magic::coordinates;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = random_unitary(4, &mut rng);
+    println!("target: a Haar-random two-qubit unitary");
+    println!("chamber point: {}", coordinates(&u)?);
+
+    let d = kak(&u)?;
+    println!("\nKAK factors (all SU(2)):");
+    println!("a1 = {:?}", d.a1);
+    println!("b1 = {:?}", d.b1);
+    println!("a2 = {:?}", d.a2);
+    println!("b2 = {:?}", d.b2);
+    println!("interaction point: {}", d.point()?);
+
+    let f = process_fidelity(&d.reconstruct(), &u);
+    println!("\nreconstruction process fidelity: {:.15}", f);
+    assert!(f > 1.0 - 1e-9);
+
+    // This is what a real transpiler does with the paper's basis: the
+    // interaction factor is replaced by calibrated (possibly parallel-
+    // driven) pulses, and a1/b1/a2/b2 become the exterior 1Q layers whose
+    // cost Eq. 7 charges — and which parallel drive absorbs.
+    println!("\nthe 4 locals above are exactly the 'interleaved 1Q gates' whose");
+    println!("duration the paper's parallel-drive technique absorbs into the 2Q pulse.");
+    Ok(())
+}

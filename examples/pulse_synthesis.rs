@@ -1,0 +1,53 @@
+//! Synthesize a parallel-drive pulse: make one iSWAP-strength pulse act as
+//! a CNOT by driving the qubits during the two-qubit interaction.
+//!
+//! Run with `cargo run --release --example pulse_synthesis`.
+
+use paradrive::hamiltonian::{ConversionGain, ParallelDrive, Segment};
+use paradrive::optimizer::{TemplateSpec, TemplateSynthesizer};
+use paradrive::weyl::trajectory::Trajectory;
+use paradrive::weyl::WeylPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::FRAC_PI_2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One full iSWAP pulse with free pump phases and 4-segment 1Q drives.
+    let spec = TemplateSpec::iswap_basis(1);
+    println!(
+        "template: K=1 iSWAP pulse, {} free parameters (φc, φg, ε1[4], ε2[4])",
+        spec.param_count()
+    );
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = TemplateSynthesizer::new(spec)
+        .with_restarts(10)
+        .with_tolerance(1e-10)
+        .synthesize_to_point(WeylPoint::CNOT, &mut rng)?;
+
+    println!("converged: {} (loss {:.2e})", out.converged, out.loss);
+    println!("reached {}", out.point);
+    println!(
+        "pump phases: φc = {:.3}, φg = {:.3}",
+        out.params[0], out.params[1]
+    );
+    println!("ε1(t) = {:?}", &out.params[2..6]);
+    println!("ε2(t) = {:?}", &out.params[6..10]);
+
+    // Replay the pulse and print its Cartan trajectory: a curve, not a ray.
+    let segs: Vec<Segment> = (0..4)
+        .map(|i| Segment::new(out.params[2 + i], out.params[6 + i]))
+        .collect();
+    let base = ConversionGain::try_new(FRAC_PI_2, 0.0, out.params[0], out.params[1])?;
+    let pulse = ParallelDrive::new(base, segs, 1.0)?;
+    let traj = Trajectory::from_unitaries(&pulse.accumulate())?;
+    println!("\nCartan trajectory (I → CNOT in ONE pulse, no interleaved 1Q stops):");
+    for p in traj.points() {
+        println!("  {p}");
+    }
+    println!(
+        "chord deviation {:.3} — the parallel drive is what bends the path",
+        traj.chord_deviation()
+    );
+    Ok(())
+}

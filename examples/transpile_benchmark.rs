@@ -1,0 +1,46 @@
+//! Transpile a workload end to end and compare the baseline √iSWAP flow
+//! against the parallel-drive optimized flow.
+//!
+//! Run with `cargo run --release --example transpile_benchmark [name]`
+//! where `name` is one of QV, VQE_L, GHZ, HLF, QFT, Adder, QAOA, VQE_F,
+//! Multiplier (default QFT).
+
+use paradrive::circuit::benchmarks::standard_suite;
+use paradrive::core::flow::compare_models;
+use paradrive::transpiler::fidelity::FidelityModel;
+use paradrive::transpiler::topology::CouplingMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "QFT".to_string());
+    let bench = standard_suite(7)
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(&want))
+        .ok_or_else(|| format!("unknown benchmark `{want}`"))?;
+
+    println!(
+        "{}: {} qubits, {} 2Q gates, depth {}",
+        bench.name,
+        bench.circuit.n_qubits(),
+        bench.circuit.two_q_count(),
+        bench.circuit.depth()
+    );
+
+    let map = CouplingMap::grid(4, 4);
+    let r = compare_models(
+        bench.name,
+        &bench.circuit,
+        &map,
+        10,
+        0.25,
+        FidelityModel::paper(),
+    )?;
+
+    println!("SWAPs inserted (best of 10 routing seeds): {}", r.swaps);
+    println!("consolidated 2Q blocks: {}", r.blocks);
+    println!("baseline duration:  {:.2} iSWAP pulses", r.baseline_duration);
+    println!("optimized duration: {:.2} iSWAP pulses", r.optimized_duration);
+    println!("duration reduction: {:.1}%", r.duration_reduction_pct);
+    println!("per-qubit fidelity improvement: {:.2}%", r.fq_improvement_pct);
+    println!("total-circuit fidelity improvement: {:.2}%", r.ft_improvement_pct);
+    Ok(())
+}
