@@ -76,7 +76,9 @@ fn bench_fig8(c: &mut Criterion) {
     c.bench_function("fig8/synthesis_150_steps", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(5);
-            synth.synthesize_to_point(WeylPoint::CNOT, &mut rng).unwrap()
+            synth
+                .synthesize_to_point(WeylPoint::CNOT, &mut rng)
+                .unwrap()
         })
     });
 }

@@ -45,5 +45,11 @@ fn bench_nelder_mead(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_expm, bench_coordinates, bench_haar, bench_nelder_mead);
+criterion_group!(
+    benches,
+    bench_expm,
+    bench_coordinates,
+    bench_haar,
+    bench_nelder_mead
+);
 criterion_main!(benches);

@@ -408,7 +408,7 @@ mod tests {
     fn toffoli_decomposition_is_correct() {
         // Verify the 6-CX Toffoli against the exact CCX unitary on 3 qubits
         // by brute-force simulation of the small circuit.
-        use paradrive_linalg::{C64, CMat};
+        use paradrive_linalg::{CMat, C64};
         let mut c = Circuit::new(3);
         push_toffoli(&mut c, 0, 1, 2);
         // Simulate: embed each op into 8x8.

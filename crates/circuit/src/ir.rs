@@ -1,7 +1,7 @@
 //! The circuit intermediate representation.
 
 use crate::CircuitError;
-use paradrive_linalg::{paulis, C64, CMat};
+use paradrive_linalg::{paulis, CMat, C64};
 use paradrive_weyl::{gates, WeylPoint};
 
 /// A qubit index within a circuit.
@@ -246,12 +246,18 @@ impl Circuit {
 
     /// Number of two-qubit gates.
     pub fn two_q_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::TwoQ { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::TwoQ { .. }))
+            .count()
     }
 
     /// Number of one-qubit gates.
     pub fn one_q_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, Op::OneQ { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::OneQ { .. }))
+            .count()
     }
 
     /// Circuit depth counting every gate as one layer (greedy ASAP
@@ -384,7 +390,9 @@ mod tests {
         assert!(TwoQ::Swap.weyl_point().approx_eq(WeylPoint::SWAP, 1e-8));
         assert!(TwoQ::ISwap.weyl_point().approx_eq(WeylPoint::ISWAP, 1e-8));
         // CP(π) ≅ CZ ≅ CNOT; CP(π/2) is half way down the CNOT family ray.
-        assert!(TwoQ::CPhase(PI).weyl_point().approx_eq(WeylPoint::CNOT, 1e-8));
+        assert!(TwoQ::CPhase(PI)
+            .weyl_point()
+            .approx_eq(WeylPoint::CNOT, 1e-8));
         assert!(TwoQ::CPhase(FRAC_PI_2)
             .weyl_point()
             .approx_eq(WeylPoint::SQRT_CNOT, 1e-8));

@@ -63,7 +63,10 @@ pub fn fig5_summary(lambda: f64) -> Result<Vec<Fig5Cell>, CoreError> {
 }
 
 fn metric_value(rows: &[DurationRow], basis: &str, metric: Metric) -> f64 {
-    let r = rows.iter().find(|r| r.basis == basis).expect("basis exists");
+    let r = rows
+        .iter()
+        .find(|r| r.basis == basis)
+        .expect("basis exists");
     match metric {
         Metric::Haar => r.e_d_haar,
         Metric::Cnot => r.d_cnot,
@@ -106,8 +109,7 @@ pub fn fractional_iswap_curve<R: Rng + ?Sized>(
         let stack = build_stack(
             &format!("iSWAP^{f:.3}"),
             WeylPoint::new(f * FRAC_PI_2, f * FRAC_PI_2, 0.0),
-            |k| TemplateSpec::for_basis_angles(f * FRAC_PI_2, 0.0, k)
-                .without_parallel_drive(),
+            |k| TemplateSpec::for_basis_angles(f * FRAC_PI_2, 0.0, k).without_parallel_drive(),
             BuildOptions {
                 max_k,
                 samples_per_k,
@@ -187,12 +189,15 @@ mod tests {
     fn fig6_fractional_curve_shape() {
         let mut rng = StdRng::seed_from_u64(77);
         let fractions = [1.0, 0.5, 0.25];
-        let curve = fractional_iswap_curve(&fractions, &[0.0, 0.25], 250, 120, &mut rng)
-            .unwrap();
+        let curve = fractional_iswap_curve(&fractions, &[0.0, 0.25], 250, 120, &mut rng).unwrap();
         assert_eq!(curve.len(), 3);
         // Full iSWAP: E[K] = 3 (base plane at K=2 has Haar measure zero);
         // MC hulls at modest sample counts slightly overestimate.
-        assert!((curve[0].e_k_haar - 3.0).abs() < 0.35, "{}", curve[0].e_k_haar);
+        assert!(
+            (curve[0].e_k_haar - 3.0).abs() < 0.35,
+            "{}",
+            curve[0].e_k_haar
+        );
         // Smaller fractions need more applications.
         assert!(curve[2].e_k_haar > curve[1].e_k_haar);
         // At D[1Q] = 0, fractional pulses are not worse than the full pulse

@@ -209,10 +209,7 @@ impl CostModel for ParallelDriveRules {
             one_q_layers: 4,
         }; // universal fallback: K = 3 √iSWAP
         let mut best_d = best.two_q_time + best.one_q_layers as f64 * self.d_1q;
-        let candidates = [
-            (iswap_pd_stack(), 1.0_f64),
-            (sqrt_pd_stack(), 0.5_f64),
-        ];
+        let candidates = [(iswap_pd_stack(), 1.0_f64), (sqrt_pd_stack(), 0.5_f64)];
         for (stack, t_basis) in candidates {
             if let Some(k) = stack.min_k(target, tol) {
                 let cost = GateCost {

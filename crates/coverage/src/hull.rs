@@ -178,7 +178,12 @@ impl ConvexRegion {
                 let perp = sub(d, scale(*dir, t));
                 norm(perp) <= tol && t >= t_range.0 - tol && t <= t_range.1 + tol
             }
-            ConvexRegion::Polygon { origin, u, v, verts } => {
+            ConvexRegion::Polygon {
+                origin,
+                u,
+                v,
+                verts,
+            } => {
                 let d = sub(p, *origin);
                 let x = dot(d, *u);
                 let y = dot(d, *v);
@@ -413,12 +418,7 @@ impl Hull3 {
         // Horizon edges: edges of visible faces shared with no other
         // visible face. Key edges by quantized endpoints.
         let key = |a: P3, b: P3| -> String {
-            let q = |v: P3| {
-                format!(
-                    "{:.10}:{:.10}:{:.10}",
-                    v[0], v[1], v[2]
-                )
-            };
+            let q = |v: P3| format!("{:.10}:{:.10}:{:.10}", v[0], v[1], v[2]);
             let (ka, kb) = (q(a), q(b));
             if ka < kb {
                 format!("{ka}|{kb}")
@@ -498,7 +498,11 @@ mod tests {
         pts.push([0.2, 0.7, 0.9]);
         let region = ConvexRegion::from_points(&pts, 1e-9);
         assert_eq!(region.affine_dim(), Some(3));
-        assert!((region.volume() - 1.0).abs() < 1e-9, "volume {}", region.volume());
+        assert!(
+            (region.volume() - 1.0).abs() < 1e-9,
+            "volume {}",
+            region.volume()
+        );
         assert!(region.contains([0.5, 0.5, 0.5], 1e-9));
         assert!(region.contains([0.0, 0.0, 0.0], 1e-9));
         assert!(!region.contains([1.2, 0.5, 0.5], 1e-9));

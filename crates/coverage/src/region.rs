@@ -151,11 +151,7 @@ mod tests {
 
     fn base_plane_cloud() -> Vec<WeylPoint> {
         // A triangle covering the folded base plane: I, CNOT, iSWAP.
-        let mut pts = vec![
-            WeylPoint::IDENTITY,
-            WeylPoint::CNOT,
-            WeylPoint::ISWAP,
-        ];
+        let mut pts = vec![WeylPoint::IDENTITY, WeylPoint::CNOT, WeylPoint::ISWAP];
         // Fill interior.
         for i in 0..10 {
             for j in 0..=i {

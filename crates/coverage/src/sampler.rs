@@ -80,9 +80,7 @@ pub fn sample_template_points<R: Rng + ?Sized>(
                         let l = if slot % 2 == 1 { d1 } else { d2 };
                         u = basis.mul(l).mul(&u);
                     }
-                    pts.push(
-                        coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?,
-                    );
+                    pts.push(coordinates(&u).map_err(|e| CoverageError::Weyl(e.to_string()))?);
                 }
             }
         }
@@ -259,7 +257,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let queries = exterior_queries(&spec, 8, &mut rng);
         let by_name = |n: &str| queries.iter().find(|q| q.target == n).unwrap();
-        assert!(by_name("CNOT").reachable, "CNOT loss {}", by_name("CNOT").loss);
+        assert!(
+            by_name("CNOT").reachable,
+            "CNOT loss {}",
+            by_name("CNOT").loss
+        );
         assert!(!by_name("SWAP").reachable);
         assert!(by_name("I").reachable, "I loss {}", by_name("I").loss);
     }

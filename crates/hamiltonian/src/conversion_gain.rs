@@ -2,7 +2,7 @@
 
 use crate::DriveError;
 use paradrive_linalg::expm::evolve;
-use paradrive_linalg::{paulis, C64, CMat};
+use paradrive_linalg::{paulis, CMat, C64};
 use paradrive_weyl::WeylPoint;
 
 /// Pulse angles `(θc, θg) = (gc·t, gg·t)` that identify a gate family.
@@ -62,10 +62,7 @@ pub fn angles_for_base_point(p: WeylPoint) -> Result<DriveAngles, DriveError> {
     if p.c3.abs() > 1e-9 {
         return Err(DriveError::OffBasePlane(p.c3));
     }
-    Ok(DriveAngles::new(
-        (p.c1 + p.c2) / 2.0,
-        (p.c1 - p.c2) / 2.0,
-    ))
+    Ok(DriveAngles::new((p.c1 + p.c2) / 2.0, (p.c1 - p.c2) / 2.0))
 }
 
 /// A constant conversion–gain drive configuration.

@@ -14,7 +14,7 @@
 use crate::conversion_gain::ConversionGain;
 use crate::DriveError;
 use paradrive_linalg::expm::evolve;
-use paradrive_linalg::{paulis, C64, CMat};
+use paradrive_linalg::{paulis, CMat, C64};
 
 /// One piecewise-constant segment of the parallel 1Q drives.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -275,7 +275,10 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pulse.segments().len(), 4);
-        assert!(pulse.segments().iter().all(|s| s.eps1 == 3.0 && s.eps2 == 0.0));
+        assert!(pulse
+            .segments()
+            .iter()
+            .all(|s| s.eps1 == 3.0 && s.eps2 == 0.0));
     }
 
     proptest! {

@@ -114,7 +114,10 @@ pub fn eigh(a: &CMat) -> Result<HermitianEig, LinalgError> {
 ///
 /// Panics if `a` is not square.
 pub fn char_poly(a: &CMat) -> Vec<C64> {
-    assert!(a.is_square(), "characteristic polynomial requires square input");
+    assert!(
+        a.is_square(),
+        "characteristic polynomial requires square input"
+    );
     let n = a.rows();
     // Faddeev–LeVerrier: M_0 = 0, c_n = 1;
     // M_k = A·M_{k-1} + c_{n-k+1}·I, c_{n-k} = -tr(A·M_k)/k
@@ -169,7 +172,8 @@ mod tests {
     #[test]
     fn eigh_reconstructs() {
         // H = 0.3 XX + 0.9 YY - 0.2 ZZ
-        let h = paulis::xx().scale(C64::real(0.3))
+        let h = paulis::xx()
+            .scale(C64::real(0.3))
             .add(&paulis::yy().scale(C64::real(0.9)))
             .add(&paulis::zz().scale(C64::real(-0.2)));
         let e = eigh(&h).unwrap();

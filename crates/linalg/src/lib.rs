@@ -57,10 +57,9 @@ pub enum LinalgError {
 impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LinalgError::ShapeMismatch(ra, ca, rb, cb) => write!(
-                f,
-                "shape mismatch: left is {ra}x{ca}, right is {rb}x{cb}"
-            ),
+            LinalgError::ShapeMismatch(ra, ca, rb, cb) => {
+                write!(f, "shape mismatch: left is {ra}x{ca}, right is {rb}x{cb}")
+            }
             LinalgError::NotSquare(r, c) => {
                 write!(f, "operation requires a square matrix, got {r}x{c}")
             }

@@ -272,7 +272,11 @@ impl CMat {
     /// Maximum absolute column sum (operator 1-norm).
     pub fn one_norm(&self) -> f64 {
         (0..self.cols)
-            .map(|c| (0..self.rows).map(|r| self.data[r * self.cols + c].norm()).sum())
+            .map(|c| {
+                (0..self.rows)
+                    .map(|r| self.data[r * self.cols + c].norm())
+                    .sum()
+            })
             .fold(0.0_f64, f64::max)
     }
 
@@ -442,7 +446,11 @@ impl CMat {
 
     /// True when `A† A ≈ I` to tolerance `tol` (per entry).
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.is_square() && self.adjoint().mul(self).approx_eq(&CMat::identity(self.rows), tol)
+        self.is_square()
+            && self
+                .adjoint()
+                .mul(self)
+                .approx_eq(&CMat::identity(self.rows), tol)
     }
 
     /// True when `A ≈ A†` to tolerance `tol` (per entry).

@@ -46,7 +46,12 @@ pub fn roots(coeffs: &[C64]) -> Result<Vec<C64>, LinalgError> {
     // avoid symmetric stagnation.
     let radius = 1.0 + coeffs.iter().map(|c| c.norm()).fold(0.0_f64, f64::max);
     let mut z: Vec<C64> = (0..n)
-        .map(|k| C64::from_polar(radius.min(2.0), 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .map(|k| {
+            C64::from_polar(
+                radius.min(2.0),
+                0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64,
+            )
+        })
         .collect();
 
     for _ in 0..500 {

@@ -194,7 +194,11 @@ mod tests {
             acc = acc.add(&random_unitary(2, &mut rng));
         }
         let mean = acc.scale(C64::real(1.0 / n as f64));
-        assert!(mean.max_abs() < 0.12, "Haar mean too large: {}", mean.max_abs());
+        assert!(
+            mean.max_abs() < 0.12,
+            "Haar mean too large: {}",
+            mean.max_abs()
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl std::fmt::Display for OptimizerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OptimizerError::EmptyTemplate => {
-                write!(f, "template must have at least one repetition and one segment")
+                write!(
+                    f,
+                    "template must have at least one repetition and one segment"
+                )
             }
             OptimizerError::Weyl(e) => write!(f, "Weyl computation failed: {e}"),
         }

@@ -220,7 +220,12 @@ mod tests {
         let f = |x: &[f64]| (x[0] - 4.0).powi(2) + (x[1] * x[1] - 2.0).powi(2);
         let r = NelderMead::new(Options::default()).minimize(&f, &[0.0, 0.0]);
         for w in r.history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-15, "history increased: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] + 1e-15,
+                "history increased: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

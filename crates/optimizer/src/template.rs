@@ -323,7 +323,10 @@ mod tests {
     fn zero_k_rejected() {
         let mut spec = TemplateSpec::iswap_basis(1);
         spec.k = 0;
-        assert_eq!(spec.evaluate(&[]).unwrap_err(), OptimizerError::EmptyTemplate);
+        assert_eq!(
+            spec.evaluate(&[]).unwrap_err(),
+            OptimizerError::EmptyTemplate
+        );
     }
 
     #[test]

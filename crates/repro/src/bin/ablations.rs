@@ -64,13 +64,8 @@ fn ablate_pd_segments() {
 fn ablate_schedule_merging() {
     header("Ablation 3 — 1Q-layer merging and virtual-Z (QFT-16, optimized flow)");
     let map = CouplingMap::grid(4, 4);
-    let routed = route_with_options(
-        &benchmarks::qft(16),
-        &map,
-        1,
-        RouterOptions::default(),
-    )
-    .expect("routing");
+    let routed = route_with_options(&benchmarks::qft(16), &map, 1, RouterOptions::default())
+        .expect("routing");
     let items = consolidate(&routed.circuit).expect("consolidation");
     let model = ParallelDriveRules::new(0.25);
     let variants = [
@@ -96,7 +91,10 @@ fn ablate_schedule_merging() {
 fn ablate_exterior_queries() {
     header("Ablation 4 — exterior-point optimization vs K-table accuracy");
     let mut rng = StdRng::seed_from_u64(23);
-    for (label, restarts) in [("without exterior stage", 0usize), ("with exterior stage", 6)] {
+    for (label, restarts) in [
+        ("without exterior stage", 0usize),
+        ("with exterior stage", 6),
+    ] {
         let stack = build_stack(
             "sqrt_iSWAP",
             WeylPoint::SQRT_ISWAP,

@@ -11,7 +11,11 @@ use rand::SeedableRng;
 use std::f64::consts::FRAC_PI_2;
 
 fn print_traj(label: &str, t: &Trajectory) {
-    println!("\n[{label}]  arc length {:.4}, chord deviation {:.4}", t.arc_length(), t.chord_deviation());
+    println!(
+        "\n[{label}]  arc length {:.4}, chord deviation {:.4}",
+        t.arc_length(),
+        t.chord_deviation()
+    );
     for p in t.points() {
         println!("  {p}");
     }
@@ -37,12 +41,16 @@ fn main() {
         .with_tolerance(1e-8)
         .synthesize_to_point(WeylPoint::CNOT, &mut rng)
         .expect("synthesis");
-    assert!(out.converged, "synthesis did not converge: loss {}", out.loss);
+    assert!(
+        out.converged,
+        "synthesis did not converge: loss {}",
+        out.loss
+    );
     let segs: Vec<Segment> = (0..4)
         .map(|i| Segment::new(out.params[2 + i], out.params[6 + i]))
         .collect();
-    let base = ConversionGain::try_new(FRAC_PI_2, 0.0, out.params[0], out.params[1])
-        .expect("valid drive");
+    let base =
+        ConversionGain::try_new(FRAC_PI_2, 0.0, out.params[0], out.params[1]).expect("valid drive");
     let pulse = ParallelDrive::new(base, segs, 1.0).expect("valid pulse");
     let t_pd = Trajectory::from_unitaries(&pulse.accumulate()).expect("trajectory");
     print_traj("parallel-driven iSWAP pulse → CNOT (curved)", &t_pd);

@@ -11,8 +11,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(6);
     let fractions = [1.0, 0.5, 1.0 / 3.0, 0.25, 1.0 / 6.0, 0.125];
     let d1qs = [0.0, 0.1, 0.25];
-    let curve = fractional_iswap_curve(&fractions, &d1qs, 700, 300, &mut rng)
-        .expect("fractional curve");
+    let curve =
+        fractional_iswap_curve(&fractions, &d1qs, 700, 300, &mut rng).expect("fractional curve");
 
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12}",

@@ -17,8 +17,15 @@ fn main() {
         .expect("synthesis");
 
     println!("converged: {}", out.converged);
-    println!("best loss: {:.2e} (paper reaches 1e-16 with more steps)", out.loss);
-    println!("final coordinate: {} (target {})", out.point, WeylPoint::CNOT);
+    println!(
+        "best loss: {:.2e} (paper reaches 1e-16 with more steps)",
+        out.loss
+    );
+    println!(
+        "final coordinate: {} (target {})",
+        out.point,
+        WeylPoint::CNOT
+    );
     println!("\ntraining-loss curve (sampled):");
     let h = &out.loss_history;
     let stride = (h.len() / 20).max(1);

@@ -1,9 +1,9 @@
 //! Table I + Fig. 4: decomposition gate counts K and coverage sets for the
 //! six comparative bases (no parallel drive).
 
+use paradrive_core::scoring::paper_bases;
 use paradrive_coverage::scores::{build_stack, k_scores, paper_table1_reference, BuildOptions};
 use paradrive_coverage::PAPER_LAMBDA;
-use paradrive_core::scoring::paper_bases;
 use paradrive_optimizer::TemplateSpec;
 use paradrive_repro::{compare, header};
 use rand::rngs::StdRng;
@@ -22,9 +22,8 @@ fn main() {
             &basis.name,
             basis.point,
             |k| {
-                let mut spec =
-                    TemplateSpec::for_basis_angles(angles.theta_c, angles.theta_g, k)
-                        .without_parallel_drive();
+                let mut spec = TemplateSpec::for_basis_angles(angles.theta_c, angles.theta_g, k)
+                    .without_parallel_drive();
                 spec.segments = 1; // no drive segments needed without PD
                 spec
             },

@@ -16,8 +16,8 @@ fn main() {
             "E[D[Haar]]".into(),
             "D[W(.47)]".into(),
         ]);
-        let rows = duration_table(slf.as_slf(), 0.0, paper_lambda())
-            .expect("duration table construction");
+        let rows =
+            duration_table(slf.as_slf(), 0.0, paper_lambda()).expect("duration table construction");
         for r in rows {
             row(&[
                 r.basis.clone(),

@@ -7,7 +7,7 @@
 //! simulation instead of assuming it.
 
 use crate::State;
-use paradrive_linalg::{C64, CMat};
+use paradrive_linalg::{CMat, C64};
 
 /// An `n`-qubit density matrix (`2^n × 2^n`).
 #[derive(Debug, Clone)]

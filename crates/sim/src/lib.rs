@@ -52,7 +52,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::TooWide { qubits, max } => {
-                write!(f, "circuit width {qubits} exceeds the supported maximum {max}")
+                write!(
+                    f,
+                    "circuit width {qubits} exceeds the supported maximum {max}"
+                )
             }
             SimError::BadPermutation => write!(f, "invalid qubit permutation"),
         }

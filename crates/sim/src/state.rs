@@ -2,7 +2,7 @@
 
 use crate::SimError;
 use paradrive_circuit::{Circuit, Op};
-use paradrive_linalg::{C64, CMat};
+use paradrive_linalg::{CMat, C64};
 use rand::Rng;
 
 /// An `n`-qubit pure state of `2^n` complex amplitudes.
@@ -314,7 +314,10 @@ mod tests {
         let c = Circuit::new(11);
         assert!(matches!(
             circuit_unitary(&c),
-            Err(SimError::TooWide { qubits: 11, max: 10 })
+            Err(SimError::TooWide {
+                qubits: 11,
+                max: 10
+            })
         ));
     }
 

@@ -189,9 +189,9 @@ impl Characterized {
             vec![
                 (0.0, 0.550),
                 (0.20, 0.500),
-                (cnot_gc, cnot_gc),      // ≈ (0.4363, 0.4363)
+                (cnot_gc, cnot_gc), // ≈ (0.4363, 0.4363)
                 (0.60, 0.370),
-                (b_gc, b_gc / 3.0),      // ≈ (0.8414, 0.2805)
+                (b_gc, b_gc / 3.0), // ≈ (0.8414, 0.2805)
                 (1.20, 0.130),
                 (FRAC_PI_2, 0.0),
             ],

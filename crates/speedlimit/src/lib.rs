@@ -193,11 +193,8 @@ impl<'a> DurationScale<'a> {
     ///
     /// Panics if the SLF has zero extent (no feasible drives at all).
     pub fn new(slf: &'a dyn SpeedLimit) -> Self {
-        let t_iswap = min_pulse_time(
-            slf,
-            DriveAngles::new(std::f64::consts::FRAC_PI_2, 0.0),
-        )
-        .expect("SLF must admit an iSWAP");
+        let t_iswap = min_pulse_time(slf, DriveAngles::new(std::f64::consts::FRAC_PI_2, 0.0))
+            .expect("SLF must admit an iSWAP");
         DurationScale { slf, t_iswap }
     }
 
@@ -227,8 +224,7 @@ impl<'a> DurationScale<'a> {
     ///
     /// Returns [`SpeedLimitError::OffBasePlane`] for points with `c3 ≠ 0`.
     pub fn pulse_duration(&self, p: WeylPoint) -> Result<f64, SpeedLimitError> {
-        let angles =
-            angles_for_base_point(p).map_err(|_| SpeedLimitError::OffBasePlane(p.c3))?;
+        let angles = angles_for_base_point(p).map_err(|_| SpeedLimitError::OffBasePlane(p.c3))?;
         self.duration_of_angles(angles)
     }
 }
@@ -320,7 +316,10 @@ mod tests {
         let slf = Characterized::snail();
         let t = min_pulse_time(&slf, DriveAngles::new(0.0, FRAC_PI_2)).unwrap();
         let t_conv = min_pulse_time(&slf, DriveAngles::new(FRAC_PI_2, 0.0)).unwrap();
-        assert!(close(t, t_conv, 1e-12), "orientations not symmetric: {t} vs {t_conv}");
+        assert!(
+            close(t, t_conv, 1e-12),
+            "orientations not symmetric: {t} vs {t_conv}"
+        );
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Checks `min_pulse_time` (the paper's Algorithm 1) against closed-form
+//! solutions for the `Linear` and `Squared` speed-limit functions.
+//!
+//! For a drive ray `gg = β·gc` the fastest pulse slides along the ray to the
+//! SLF boundary, so the minimum time has a closed form per SLF:
+//!
+//! - Linear `gc + gg ≤ L`:   `t = (θc + θg) / L`,
+//! - Squared `gc² + gg² ≤ L²`: `t = √(θc² + θg²) / L`,
+//!
+//! independent of drive orientation in both cases. The β-ray edge cases are
+//! `β = 0` (pure conversion, `t = θc / max_gc`) and `β → ∞` (pure gain,
+//! `t = θg / max_gg`).
+
+use paradrive_hamiltonian::DriveAngles;
+use paradrive_speedlimit::{min_pulse_time, Linear, SpeedLimit, Squared};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+const TOL: f64 = 1e-9;
+
+/// Angle pairs spanning β from 0 through finite ratios; β = ∞ cases are
+/// exercised separately because `DriveAngles { theta_c: 0.0, .. }` is the
+/// pure-gain limit.
+fn angle_cases() -> Vec<DriveAngles> {
+    vec![
+        DriveAngles::new(FRAC_PI_2, 0.0),           // β = 0 (iSWAP pulse)
+        DriveAngles::new(FRAC_PI_4, FRAC_PI_4),     // β = 1 (CNOT pulse)
+        DriveAngles::new(3.0 * PI / 8.0, PI / 8.0), // β = 1/3 (B pulse)
+        DriveAngles::new(0.1, 0.7),                 // β = 7
+        DriveAngles::new(1.3, 0.002),               // β ≈ 0.0015
+    ]
+}
+
+#[test]
+fn linear_matches_closed_form() {
+    for l in [FRAC_PI_2, 1.0, 2.5] {
+        let slf = Linear::new(l);
+        for a in angle_cases() {
+            let got = min_pulse_time(&slf, a).unwrap();
+            let want = (a.theta_c + a.theta_g) / l;
+            assert!(
+                (got - want).abs() < TOL,
+                "Linear(L={l}), θ=({},{}) → {got}, closed form {want}",
+                a.theta_c,
+                a.theta_g
+            );
+        }
+    }
+}
+
+#[test]
+fn squared_matches_closed_form() {
+    for l in [FRAC_PI_2, 1.0, 2.5] {
+        let slf = Squared::new(l);
+        for a in angle_cases() {
+            let got = min_pulse_time(&slf, a).unwrap();
+            let want = (a.theta_c * a.theta_c + a.theta_g * a.theta_g).sqrt() / l;
+            assert!(
+                (got - want).abs() < TOL,
+                "Squared(L={l}), θ=({},{}) → {got}, closed form {want}",
+                a.theta_c,
+                a.theta_g
+            );
+        }
+    }
+}
+
+#[test]
+fn beta_zero_ray_hits_the_gc_intercept() {
+    // β = 0: the ray runs along the conversion axis and the intersection is
+    // the boundary's x-intercept, for both SLF families.
+    let lin = Linear::normalized();
+    let sq = Squared::normalized();
+    for slf in [&lin as &dyn SpeedLimit, &sq as &dyn SpeedLimit] {
+        let (gc, gg) = slf.intersection(0.0);
+        assert!((gc - slf.max_gc()).abs() < TOL, "{}: gc {gc}", slf.name());
+        assert!(gg.abs() < TOL, "{}: gg {gg}", slf.name());
+    }
+    // The matching pulse time: t = θc / max_gc.
+    let theta = 1.1;
+    let t = min_pulse_time(&lin, DriveAngles::new(theta, 0.0)).unwrap();
+    assert!((t - theta / lin.max_gc()).abs() < TOL);
+}
+
+#[test]
+fn beta_infinity_ray_hits_the_gg_intercept() {
+    // β → ∞: the ray runs along the gain axis and the intersection is the
+    // boundary's y-intercept.
+    let lin = Linear::normalized();
+    let sq = Squared::normalized();
+    for slf in [&lin as &dyn SpeedLimit, &sq as &dyn SpeedLimit] {
+        let (gc, gg) = slf.intersection(f64::INFINITY);
+        assert!(gc.abs() < TOL, "{}: gc {gc}", slf.name());
+        assert!((gg - slf.max_gg()).abs() < TOL, "{}: gg {gg}", slf.name());
+    }
+    // Pure-gain pulse time: t = θg / max_gg. Both SLFs are symmetric, so
+    // the orientation search may flip the axes; the closed form is the same.
+    let theta = 0.9;
+    let t = min_pulse_time(&sq, DriveAngles::new(0.0, theta)).unwrap();
+    assert!((t - theta / sq.max_gg()).abs() < TOL);
+}
+
+#[test]
+fn zero_angles_cost_zero_time() {
+    let slf = Linear::normalized();
+    let t = min_pulse_time(&slf, DriveAngles::new(0.0, 0.0)).unwrap();
+    assert_eq!(t, 0.0);
+}
+
+#[test]
+fn default_bisection_agrees_with_closed_forms() {
+    // Wrap each SLF so the trait's default bisection runs instead of the
+    // closed-form `intersection` overrides, and compare on many rays.
+    struct Bisect<S: SpeedLimit>(S);
+    impl<S: SpeedLimit> SpeedLimit for Bisect<S> {
+        fn name(&self) -> &str {
+            "bisect"
+        }
+        fn max_gc(&self) -> f64 {
+            self.0.max_gc()
+        }
+        fn max_gg(&self) -> f64 {
+            self.0.max_gg()
+        }
+        fn boundary(&self, gc: f64) -> f64 {
+            self.0.boundary(gc)
+        }
+    }
+
+    let betas = [0.0, 0.05, 0.5, 1.0, 2.0, 17.0, f64::INFINITY];
+    for beta in betas {
+        let (a, b) = Linear::normalized().intersection(beta);
+        let (c, d) = Bisect(Linear::normalized()).intersection(beta);
+        assert!(
+            (a - c).abs() < 1e-8 && (b - d).abs() < 1e-8,
+            "linear β={beta}"
+        );
+
+        let (a, b) = Squared::normalized().intersection(beta);
+        let (c, d) = Bisect(Squared::normalized()).intersection(beta);
+        assert!(
+            (a - c).abs() < 1e-8 && (b - d).abs() < 1e-8,
+            "squared β={beta}"
+        );
+    }
+}
+
+#[test]
+fn scaling_the_budget_scales_time_inversely() {
+    // Doubling the drive budget halves every pulse time (Algorithm 1 is
+    // homogeneous of degree −1 in the SLF scale).
+    let a = DriveAngles::new(0.8, 0.3);
+    let t1 = min_pulse_time(&Linear::new(1.0), a).unwrap();
+    let t2 = min_pulse_time(&Linear::new(2.0), a).unwrap();
+    assert!((t1 - 2.0 * t2).abs() < TOL);
+
+    let t1 = min_pulse_time(&Squared::new(1.0), a).unwrap();
+    let t2 = min_pulse_time(&Squared::new(2.0), a).unwrap();
+    assert!((t1 - 2.0 * t2).abs() < TOL);
+}

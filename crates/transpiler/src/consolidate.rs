@@ -76,9 +76,9 @@ pub fn consolidate(circuit: &Circuit) -> Result<Vec<Item>, TranspileError> {
     // Emission preserves program order well enough for scheduling because
     // items are re-ordered per-qubit there anyway.
     let close_block = |open: &mut Vec<Open>,
-                           qubit_block: &mut Vec<Option<usize>>,
-                           out: &mut Vec<Item>,
-                           idx: usize|
+                       qubit_block: &mut Vec<Option<usize>>,
+                       out: &mut Vec<Item>,
+                       idx: usize|
      -> Result<(), TranspileError> {
         let blk = open.swap_remove(idx);
         // Fix up the index of the block that swapped into `idx`.
@@ -89,8 +89,7 @@ pub fn consolidate(circuit: &Circuit) -> Result<Vec<Item>, TranspileError> {
         }
         qubit_block[blk.a] = None;
         qubit_block[blk.b] = None;
-        let point =
-            coordinates(&blk.u).map_err(|e| TranspileError::Weyl(e.to_string()))?;
+        let point = coordinates(&blk.u).map_err(|e| TranspileError::Weyl(e.to_string()))?;
         out.push(Item::Block {
             a: blk.a,
             b: blk.b,
@@ -259,7 +258,11 @@ mod tests {
         let items = consolidate(&c).unwrap();
         assert_eq!(items.len(), 1);
         match &items[0] {
-            Item::Block { point, merged_gates, .. } => {
+            Item::Block {
+                point,
+                merged_gates,
+                ..
+            } => {
                 assert_eq!(*merged_gates, 2);
                 assert!(
                     point.chamber_dist(WeylPoint::ISWAP) < 1e-7,

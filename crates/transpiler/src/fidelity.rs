@@ -120,14 +120,9 @@ mod tests {
         let m = FidelityModel::paper();
         let base_d = 133.0; // QV baseline duration in pulses
         let opt_d = 118.4;
-        let fq_gain = relative_improvement_pct(
-            m.qubit_fidelity(base_d),
-            m.qubit_fidelity(opt_d),
-        );
-        let ft_gain = relative_improvement_pct(
-            m.total_fidelity(base_d, 16),
-            m.total_fidelity(opt_d, 16),
-        );
+        let fq_gain = relative_improvement_pct(m.qubit_fidelity(base_d), m.qubit_fidelity(opt_d));
+        let ft_gain =
+            relative_improvement_pct(m.total_fidelity(base_d, 16), m.total_fidelity(opt_d, 16));
         assert!(fq_gain > 1.0 && fq_gain < 3.0, "FQ gain {fq_gain}");
         assert!(ft_gain > 20.0 && ft_gain < 35.0, "FT gain {ft_gain}");
     }

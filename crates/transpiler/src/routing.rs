@@ -47,11 +47,7 @@ pub struct Routed {
 ///
 /// Returns [`TranspileError::TooManyQubits`] when the circuit is wider than
 /// the device.
-pub fn route(
-    circuit: &Circuit,
-    map: &CouplingMap,
-    seed: u64,
-) -> Result<Routed, TranspileError> {
+pub fn route(circuit: &Circuit, map: &CouplingMap, seed: u64) -> Result<Routed, TranspileError> {
     route_with_options(circuit, map, seed, RouterOptions::default())
 }
 
@@ -278,10 +274,7 @@ mod tests {
         // QFT's all-to-all CPhases on a lattice need plenty of SWAPs.
         assert!(r.swaps_inserted > 20);
         // 2Q gate count grows exactly by the inserted swaps.
-        assert_eq!(
-            r.circuit.two_q_count(),
-            c.two_q_count() + r.swaps_inserted
-        );
+        assert_eq!(r.circuit.two_q_count(), c.two_q_count() + r.swaps_inserted);
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub fn schedule_with(
 
     for item in items {
         match item {
-            Item::OneQRun { q, virtual_only, .. } => {
+            Item::OneQRun {
+                q, virtual_only, ..
+            } => {
                 if *virtual_only && options.free_virtual_z {
                     continue; // free frame update
                 }
@@ -86,8 +88,7 @@ pub fn schedule_with(
                     one_q_layers,
                 } = model.cost(*point);
                 let mut layers = one_q_layers as f64;
-                if options.merge_1q_layers && layers > 0.0 && ends_with_1q[*a] && ends_with_1q[*b]
-                {
+                if options.merge_1q_layers && layers > 0.0 && ends_with_1q[*a] && ends_with_1q[*b] {
                     layers -= 1.0; // merge the leading exterior layer
                 }
                 let dur = two_q_time + layers * d1q;

@@ -200,7 +200,9 @@ mod tests {
     fn lerp_and_scale() {
         let mid = WeylPoint::IDENTITY.lerp(WeylPoint::ISWAP, 0.5);
         assert!(mid.approx_eq(WeylPoint::SQRT_ISWAP, 1e-12));
-        assert!(WeylPoint::ISWAP.scaled(0.5).approx_eq(WeylPoint::SQRT_ISWAP, 1e-12));
+        assert!(WeylPoint::ISWAP
+            .scaled(0.5)
+            .approx_eq(WeylPoint::SQRT_ISWAP, 1e-12));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::coord::WeylPoint;
 use paradrive_linalg::expm::expm;
-use paradrive_linalg::{paulis, C64, CMat};
+use paradrive_linalg::{paulis, CMat, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 
 /// The canonical gate `CAN(c1,c2,c3) = exp(+i/2 (c1·XX + c2·YY + c3·ZZ))`.
@@ -42,12 +42,7 @@ pub fn identity() -> CMat {
 pub fn cnot() -> CMat {
     let o = C64::ONE;
     let z = C64::ZERO;
-    CMat::from_rows(&[
-        &[o, z, z, z],
-        &[z, o, z, z],
-        &[z, z, z, o],
-        &[z, z, o, z],
-    ])
+    CMat::from_rows(&[&[o, z, z, z], &[z, o, z, z], &[z, z, z, o], &[z, z, o, z]])
 }
 
 /// Controlled-Z (symmetric between the qubits; locally equivalent to CNOT).
@@ -64,12 +59,7 @@ pub fn cphase(theta: f64) -> CMat {
 pub fn swap() -> CMat {
     let o = C64::ONE;
     let z = C64::ZERO;
-    CMat::from_rows(&[
-        &[o, z, z, z],
-        &[z, z, o, z],
-        &[z, o, z, z],
-        &[z, z, z, o],
-    ])
+    CMat::from_rows(&[&[o, z, z, z], &[z, z, o, z], &[z, o, z, z], &[z, z, z, o]])
 }
 
 /// iSWAP: swaps `|01⟩ ↔ |10⟩` with a phase of `i`.
@@ -77,12 +67,7 @@ pub fn iswap() -> CMat {
     let o = C64::ONE;
     let z = C64::ZERO;
     let i = C64::I;
-    CMat::from_rows(&[
-        &[o, z, z, z],
-        &[z, z, i, z],
-        &[z, i, z, z],
-        &[z, z, z, o],
-    ])
+    CMat::from_rows(&[&[o, z, z, z], &[z, z, i, z], &[z, i, z, z], &[z, z, z, o]])
 }
 
 /// The fractional iSWAP pulse `iSWAP^t`, `t ∈ [0, 1]`: the native gate of a
@@ -93,12 +78,7 @@ pub fn iswap_frac(t: f64) -> CMat {
     let s = C64::new(0.0, theta.sin());
     let o = C64::ONE;
     let z = C64::ZERO;
-    CMat::from_rows(&[
-        &[o, z, z, z],
-        &[z, c, s, z],
-        &[z, s, c, z],
-        &[z, z, z, o],
-    ])
+    CMat::from_rows(&[&[o, z, z, z], &[z, c, s, z], &[z, s, c, z], &[z, z, z, o]])
 }
 
 /// √iSWAP — the paper's headline basis gate.
@@ -200,12 +180,7 @@ mod tests {
         let flipped = swap().mul(&cnot()).mul(&swap());
         let o = C64::ONE;
         let z = C64::ZERO;
-        let cnot21 = CMat::from_rows(&[
-            &[o, z, z, z],
-            &[z, z, z, o],
-            &[z, z, o, z],
-            &[z, o, z, z],
-        ]);
+        let cnot21 = CMat::from_rows(&[&[o, z, z, z], &[z, z, z, o], &[z, z, o, z], &[z, o, z, z]]);
         assert!(flipped.approx_eq(&cnot21, TOL));
     }
 

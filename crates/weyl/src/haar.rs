@@ -107,8 +107,7 @@ mod tests {
         let near_vertex = pts
             .iter()
             .filter(|p| {
-                p.chamber_dist(WeylPoint::IDENTITY) < 0.15
-                    || p.chamber_dist(WeylPoint::SWAP) < 0.15
+                p.chamber_dist(WeylPoint::IDENTITY) < 0.15 || p.chamber_dist(WeylPoint::SWAP) < 0.15
             })
             .count();
         assert!(near_vertex < 10, "{near_vertex} samples near vertices");

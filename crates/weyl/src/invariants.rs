@@ -68,9 +68,7 @@ impl MakhlinInvariants {
     /// Squared Euclidean distance between invariant triples — the optimizer's
     /// loss functional.
     pub fn dist_sqr(self, other: Self) -> f64 {
-        (self.g1 - other.g1).powi(2)
-            + (self.g2 - other.g2).powi(2)
-            + (self.g3 - other.g3).powi(2)
+        (self.g1 - other.g1).powi(2) + (self.g2 - other.g2).powi(2) + (self.g3 - other.g3).powi(2)
     }
 }
 

@@ -16,7 +16,7 @@ use crate::coord::WeylPoint;
 use crate::magic::{coordinates, magic_basis, to_su4};
 use crate::WeylError;
 use paradrive_linalg::eig::eigh;
-use paradrive_linalg::{C64, CMat};
+use paradrive_linalg::{CMat, C64};
 
 /// The result of a KAK decomposition: `U = phase · k1 · CAN(point) · k2`
 /// where `k1 = a1 ⊗ b1` and `k2 = a2 ⊗ b2`.
@@ -66,9 +66,8 @@ impl Kak {
 pub fn factor_tensor_product(u: &CMat) -> Result<(C64, CMat, CMat), WeylError> {
     // u[2r+i, 2c+j] = a[r,c]·b[i,j]. Use the largest 2×2 block as the b
     // reference, then read off a from block inner products.
-    let block = |r: usize, c: usize| -> CMat {
-        CMat::from_fn(2, 2, |i, j| u[(2 * r + i, 2 * c + j)])
-    };
+    let block =
+        |r: usize, c: usize| -> CMat { CMat::from_fn(2, 2, |i, j| u[(2 * r + i, 2 * c + j)]) };
     let (mut r0, mut c0, mut best) = (0, 0, -1.0);
     for r in 0..2 {
         for c in 0..2 {
@@ -302,7 +301,10 @@ mod tests {
         // Locals are unitary tensor factors in SU(2).
         for (m, name) in [(&d.a1, "a1"), (&d.b1, "b1"), (&d.a2, "a2"), (&d.b2, "b2")] {
             assert!(m.is_unitary(1e-8), "{label}: {name} not unitary");
-            assert!(m.det().approx_eq(C64::ONE, 1e-7), "{label}: {name} not SU(2)");
+            assert!(
+                m.det().approx_eq(C64::ONE, 1e-7),
+                "{label}: {name} not SU(2)"
+            );
         }
         // The interaction factor carries the same chamber point as U.
         let pu = coordinates(u).unwrap();

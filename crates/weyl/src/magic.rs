@@ -12,7 +12,7 @@
 use crate::coord::WeylPoint;
 use crate::WeylError;
 use paradrive_linalg::eig::eigh;
-use paradrive_linalg::{C64, CMat};
+use paradrive_linalg::{CMat, C64};
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// The magic-basis change-of-basis matrix `Q` (Makhlin's convention):
@@ -28,12 +28,7 @@ pub fn magic_basis() -> CMat {
     let z = C64::ZERO;
     let r = C64::real(s);
     let i = C64::new(0.0, s);
-    CMat::from_rows(&[
-        &[r, z, z, i],
-        &[z, i, r, z],
-        &[z, i, -r, z],
-        &[r, z, z, -i],
-    ])
+    CMat::from_rows(&[&[r, z, z, i], &[z, i, r, z], &[z, i, -r, z], &[r, z, z, -i]])
 }
 
 /// Projects a 4×4 unitary into `SU(4)` by dividing out `det(U)^{1/4}`.
@@ -46,11 +41,7 @@ pub fn to_su4(u: &CMat) -> Result<CMat, WeylError> {
     if u.rows() != 4 || u.cols() != 4 {
         return Err(WeylError::NotTwoQubit(u.rows(), u.cols()));
     }
-    let dev = u
-        .adjoint()
-        .mul(u)
-        .sub(&CMat::identity(4))
-        .max_abs();
+    let dev = u.adjoint().mul(u).sub(&CMat::identity(4)).max_abs();
     if dev > 1e-8 {
         return Err(WeylError::NotUnitary(dev));
     }
@@ -227,10 +218,7 @@ mod tests {
         ];
         for (u, expected) in cases {
             let pt = coordinates(&u).unwrap();
-            assert!(
-                pt.approx_eq(expected, TOL),
-                "expected {expected}, got {pt}"
-            );
+            assert!(pt.approx_eq(expected, TOL), "expected {expected}, got {pt}");
         }
     }
 

@@ -44,10 +44,7 @@ impl Trajectory {
 
     /// Total polyline arc length in coordinate space.
     pub fn arc_length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].dist(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].dist(w[1])).sum()
     }
 
     /// Maximum deviation of interior points from the straight chord between
@@ -88,9 +85,15 @@ mod tests {
     #[test]
     fn conversion_ray_is_straight() {
         // iSWAP^t for t in [0, 1] walks the straight edge I → iSWAP.
-        let us: Vec<CMat> = (0..=10).map(|k| gates::iswap_frac(k as f64 / 10.0)).collect();
+        let us: Vec<CMat> = (0..=10)
+            .map(|k| gates::iswap_frac(k as f64 / 10.0))
+            .collect();
         let traj = Trajectory::from_unitaries(&us).unwrap();
-        assert!(traj.chord_deviation() < 1e-7, "deviation {}", traj.chord_deviation());
+        assert!(
+            traj.chord_deviation() < 1e-7,
+            "deviation {}",
+            traj.chord_deviation()
+        );
         assert!(traj.end().unwrap().approx_eq(WeylPoint::ISWAP, 1e-8));
         // Arc length equals the I→iSWAP distance: π/√2.
         let expected = WeylPoint::IDENTITY.dist(WeylPoint::ISWAP);
@@ -99,7 +102,9 @@ mod tests {
 
     #[test]
     fn cnot_family_ray_is_straight() {
-        let us: Vec<CMat> = (0..=10).map(|k| gates::cnot_frac(k as f64 / 10.0)).collect();
+        let us: Vec<CMat> = (0..=10)
+            .map(|k| gates::cnot_frac(k as f64 / 10.0))
+            .collect();
         let traj = Trajectory::from_unitaries(&us).unwrap();
         assert!(traj.chord_deviation() < 1e-7);
         assert!(traj.end().unwrap().approx_eq(WeylPoint::CNOT, 1e-8));

@@ -1,0 +1,128 @@
+//! Pins the two-qubit gate zoo to its known Weyl-chamber coordinates and
+//! checks the Haar → chamber pipeline as a property over many seeds.
+//!
+//! These are the workspace's geometric ground truth: every downstream score
+//! (K/D tables, coverage volumes) assumes `coordinates()` maps the named
+//! gates of the paper to exactly these canonical points.
+
+use paradrive_weyl::magic::coordinates;
+use paradrive_weyl::{gates, haar, WeylPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn cnot_coordinates() {
+    let pt = coordinates(&gates::cnot()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::CNOT, TOL), "CNOT → {pt}");
+    assert!(pt.approx_eq(WeylPoint::new(FRAC_PI_2, 0.0, 0.0), TOL));
+}
+
+#[test]
+fn cz_is_cnot_class() {
+    // CZ is locally equivalent to CNOT: same chamber point.
+    let pt = coordinates(&gates::cz()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::CNOT, TOL), "CZ → {pt}");
+}
+
+#[test]
+fn iswap_coordinates() {
+    let pt = coordinates(&gates::iswap()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::ISWAP, TOL), "iSWAP → {pt}");
+    assert!(pt.approx_eq(WeylPoint::new(FRAC_PI_2, FRAC_PI_2, 0.0), TOL));
+}
+
+#[test]
+fn sqrt_iswap_coordinates() {
+    let pt = coordinates(&gates::sqrt_iswap()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::SQRT_ISWAP, TOL), "√iSWAP → {pt}");
+    assert!(pt.approx_eq(WeylPoint::new(FRAC_PI_4, FRAC_PI_4, 0.0), TOL));
+}
+
+#[test]
+fn b_gate_coordinates() {
+    let pt = coordinates(&gates::b_gate()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::B, TOL), "B → {pt}");
+    assert!(pt.approx_eq(WeylPoint::new(FRAC_PI_2, FRAC_PI_4, 0.0), TOL));
+}
+
+#[test]
+fn swap_coordinates() {
+    let pt = coordinates(&gates::swap()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::SWAP, TOL), "SWAP → {pt}");
+    assert!(pt.approx_eq(WeylPoint::new(FRAC_PI_2, FRAC_PI_2, FRAC_PI_2), TOL));
+}
+
+#[test]
+fn sqrt_cnot_and_sqrt_b_coordinates() {
+    let pt = coordinates(&gates::sqrt_cnot()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::SQRT_CNOT, TOL), "√CNOT → {pt}");
+    let pt = coordinates(&gates::sqrt_b()).unwrap();
+    assert!(pt.approx_eq(WeylPoint::SQRT_B, TOL), "√B → {pt}");
+}
+
+#[test]
+fn perfect_entangler_classification_of_the_zoo() {
+    // CNOT, iSWAP, √iSWAP and B are perfect entanglers; identity and SWAP
+    // are not (Fig. 2 of the paper).
+    for (name, u, expect) in [
+        ("CNOT", gates::cnot(), true),
+        ("iSWAP", gates::iswap(), true),
+        ("sqrt_iSWAP", gates::sqrt_iswap(), true),
+        ("B", gates::b_gate(), true),
+        ("identity", gates::identity(), false),
+        ("SWAP", gates::swap(), false),
+    ] {
+        let pt = coordinates(&u).unwrap();
+        assert_eq!(
+            pt.is_perfect_entangler(1e-9),
+            expect,
+            "{name} at {pt} misclassified"
+        );
+    }
+}
+
+#[test]
+fn canonical_gate_round_trips_the_zoo() {
+    // CAN(p) of each zoo point must map back to exactly that point.
+    for p in [
+        WeylPoint::CNOT,
+        WeylPoint::ISWAP,
+        WeylPoint::SQRT_ISWAP,
+        WeylPoint::B,
+        WeylPoint::SWAP,
+    ] {
+        let rt = coordinates(&gates::can(p)).unwrap();
+        assert!(rt.approx_eq(p, 1e-8), "CAN({p}) → {rt}");
+    }
+}
+
+#[test]
+fn haar_coordinates_always_land_in_the_canonical_chamber() {
+    // Property: for any Haar-random 2Q unitary, coordinates() produces a
+    // point inside the canonical Weyl chamber (c1 ≥ c2 ≥ c3 ≥ 0, c1 + c2 ≤ π).
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pt = haar::random_point(&mut rng);
+        assert!(pt.in_chamber(1e-7), "seed {seed}: {pt} escaped the chamber");
+    }
+}
+
+#[test]
+fn haar_points_are_mostly_perfect_entanglers() {
+    // The Haar measure puts ~79% of gates in the perfect-entangler
+    // polytope; a loose statistical check guards the sampler + classifier.
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 400;
+    let pe = haar::sample_points(n, &mut rng)
+        .into_iter()
+        .filter(|p| p.is_perfect_entangler(1e-9))
+        .count();
+    let frac = pe as f64 / n as f64;
+    assert!(
+        (0.70..0.90).contains(&frac),
+        "perfect-entangler fraction {frac} outside [0.70, 0.90]"
+    );
+}

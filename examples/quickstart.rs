@@ -12,20 +12,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A parametric coupler drive: conversion at θc = π/2 is an iSWAP.
     let iswap_pulse = ConversionGain::new(FRAC_PI_2, 0.0).unitary(1.0);
     let p = coordinates(&iswap_pulse)?;
-    println!("conversion-only pulse lands at {p} (iSWAP = {})", WeylPoint::ISWAP);
+    println!(
+        "conversion-only pulse lands at {p} (iSWAP = {})",
+        WeylPoint::ISWAP
+    );
 
     // 2. Mixing gain in moves the gate along the chamber floor: equal
     //    drives realize the CNOT class (Eq. 4 of the paper).
     let cnot_pulse = ConversionGain::new(FRAC_PI_4, FRAC_PI_4).unitary(1.0);
     println!("balanced pulse lands at {}", coordinates(&cnot_pulse)?);
     let inv = MakhlinInvariants::of(&cnot_pulse)?;
-    println!("its Makhlin invariants: ({:.3}, {:.3}, {:.3}) — CNOT is (0, 0, 1)", inv.g1, inv.g2, inv.g3);
+    println!(
+        "its Makhlin invariants: ({:.3}, {:.3}, {:.3}) — CNOT is (0, 0, 1)",
+        inv.g1, inv.g2, inv.g3
+    );
 
     // 3. Speed limits decide how fast each family can be pumped.
     let linear = Linear::normalized();
     let snail = Characterized::snail();
-    for (name, slf) in [("linear", &linear as &dyn paradrive::speedlimit::SpeedLimit),
-                        ("snail", &snail)] {
+    for (name, slf) in [
+        ("linear", &linear as &dyn paradrive::speedlimit::SpeedLimit),
+        ("snail", &snail),
+    ] {
         let scale = DurationScale::new(slf);
         println!(
             "[{name}] pulse durations: iSWAP {:.2}, CNOT {:.2}, B {:.2} (iSWAP-pulse units)",

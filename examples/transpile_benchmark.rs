@@ -37,10 +37,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("SWAPs inserted (best of 10 routing seeds): {}", r.swaps);
     println!("consolidated 2Q blocks: {}", r.blocks);
-    println!("baseline duration:  {:.2} iSWAP pulses", r.baseline_duration);
-    println!("optimized duration: {:.2} iSWAP pulses", r.optimized_duration);
+    println!(
+        "baseline duration:  {:.2} iSWAP pulses",
+        r.baseline_duration
+    );
+    println!(
+        "optimized duration: {:.2} iSWAP pulses",
+        r.optimized_duration
+    );
     println!("duration reduction: {:.1}%", r.duration_reduction_pct);
-    println!("per-qubit fidelity improvement: {:.2}%", r.fq_improvement_pct);
-    println!("total-circuit fidelity improvement: {:.2}%", r.ft_improvement_pct);
+    println!(
+        "per-qubit fidelity improvement: {:.2}%",
+        r.fq_improvement_pct
+    );
+    println!(
+        "total-circuit fidelity improvement: {:.2}%",
+        r.ft_improvement_pct
+    );
     Ok(())
 }

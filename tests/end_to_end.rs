@@ -114,8 +114,7 @@ fn optimized_flow_never_slower_across_suite_sample() {
         .into_iter()
         .filter(|b| matches!(b.name, "GHZ" | "VQE_L" | "QAOA"))
     {
-        let r = compare_models(b.name, &b.circuit, &map, 2, 0.25, FidelityModel::paper())
-            .unwrap();
+        let r = compare_models(b.name, &b.circuit, &map, 2, 0.25, FidelityModel::paper()).unwrap();
         assert!(
             r.optimized_duration <= r.baseline_duration + 1e-9,
             "{}: optimized {} > baseline {}",

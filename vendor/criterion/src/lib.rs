@@ -1,0 +1,248 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the criterion 0.5 API the workspace's `benches/` use —
+//! [`Criterion`], [`Bencher::iter`], [`criterion_group!`], and
+//! [`criterion_main!`] — backed by a simple wall-clock harness: per
+//! benchmark it warms up briefly, then times `sample_size` samples (capped
+//! by a time budget) and reports min/mean/median nanoseconds per iteration.
+//!
+//! It honors the two CLI flags cargo's test/bench machinery passes to
+//! `harness = false` targets: `--test` (run each benchmark once, for
+//! `cargo test --benches`) and a filter string (run only matching ids).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for drop-in compatibility with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds configuration and runs registered functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(50),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the measurement phase of each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration for each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies the CLI arguments cargo passes to `harness = false` targets.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags we accept and ignore for cargo compatibility.
+                "--bench" | "--list" | "--nocapture" | "--quiet" | "-q" | "--exact" => {}
+                other => {
+                    if !other.starts_with('-') && self.filter.is_none() {
+                        self.filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure {
+                    sample_size: self.sample_size,
+                    measurement_time: self.measurement_time,
+                    warm_up_time: self.warm_up_time,
+                }
+            },
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Measure {
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+    },
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times a routine.
+pub struct Bencher {
+    mode: Mode,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing one wall-clock sample per invocation batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Measure {
+                sample_size,
+                measurement_time,
+                warm_up_time,
+            } => {
+                // Warm-up: also estimates the per-iteration cost so each
+                // timed sample can batch enough iterations to out-resolve
+                // the clock.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                    if warm_iters >= 1_000_000 {
+                        break;
+                    }
+                }
+                let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+                // Aim each sample at ~1ms of work, at least one iteration.
+                let batch = ((1_000_000.0 / est_ns).ceil() as u64).max(1);
+
+                let budget = Instant::now();
+                self.samples_ns.clear();
+                for _ in 0..sample_size {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples_ns
+                        .push(t.elapsed().as_nanos() as f64 / batch as f64);
+                    if budget.elapsed() > measurement_time {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples_ns.len();
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[n / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / n as f64;
+        println!(
+            "{id:<48} min {} · median {} · mean {} ({n} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:7.1} ns")
+    } else if ns < 1e6 {
+        format!("{:7.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:7.2} ms", ns / 1e6)
+    } else {
+        format!("{:7.2} s ", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("trivial", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

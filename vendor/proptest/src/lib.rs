@@ -1,0 +1,264 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the proptest API the workspace's tests use, with the same
+//! spellings: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`prop_assert!`]/[`prop_assert_eq!`], range
+//! and tuple strategies, [`collection::vec`] and [`Strategy::prop_map`].
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! - Cases are sampled **uniformly** from each strategy with a deterministic
+//!   per-test seed — there is no edge-case bias and no shrinking. A failure
+//!   reports the case index so it can be replayed (the stream is stable).
+//! - `prop_assert!` panics immediately instead of returning a `TestCaseError`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Items the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Per-test configuration; only `cases` is meaningful in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value. Uniform over the strategy's domain in this shim.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: rand::SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: rand::SampleUniform + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// A strategy for `Vec`s of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test path, used to derive per-test seeds.
+pub fn __seed_for(test_path: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Immediate-panic analog of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Immediate-panic analog of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Immediate-panic analog of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that samples its
+/// arguments from the given strategies for `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..(__config.cases as u64) {
+                let __seed = $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)), __case);
+                let mut __rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(__seed);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+    )+};
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tiny() -> impl Strategy<Value = f64> {
+        -1.0..1.0f64
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in 0.0..2.5f64, n in 1usize..6, k in 0u64..10) {
+            prop_assert!((0.0..2.5).contains(&x));
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(k < 10);
+        }
+
+        #[test]
+        fn tuples_vecs_and_map_compose(v in crate::collection::vec((tiny(), tiny()), 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in tiny()) {
+            prop_assert!(x.abs() <= 1.0);
+        }
+    }
+}

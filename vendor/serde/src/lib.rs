@@ -1,0 +1,20 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this shim keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compiling:
+//! the derives (re-exported from the vendored `serde_derive`) expand to
+//! nothing, and the traits below are blanket-implemented markers. Swapping
+//! in the real `serde` later is a one-line Cargo.toml change — no source
+//! edits — because every spelling matches upstream.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable under real `serde`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real `serde`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so they
+//! are wire-ready once the real `serde` is available, but no code path
+//! serializes anything yet. These derives therefore expand to nothing; the
+//! marker traits in the sibling `serde` shim are blanket-implemented, so
+//! `#[derive(Serialize, Deserialize)]` stays a compile-time no-op with the
+//! same spelling as the real thing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
