@@ -1,0 +1,100 @@
+//! Batch-engine throughput: the cached multi-threaded engine against the
+//! sequential one-circuit-at-a-time baseline.
+//!
+//! Two regimes:
+//!
+//! - `engine/synth/*` — general-class blocks costed by per-target template
+//!   synthesis (the paper's Algorithm-1 discipline,
+//!   [`Costing::Synthesized`]): milliseconds per distinct class. The
+//!   `1thread_nocache` row is the sequential baseline; `threads_cached` is
+//!   the engine. The classes repeat across the whole batch, so the
+//!   decomposition cache collapses hundreds of syntheses into a handful —
+//!   this is where the >1 batch speedup comes from even on one core, and
+//!   it multiplies with the thread count on real hardware.
+//! - `engine/hull/*` — the precomputed-coverage costing
+//!   ([`Costing::Hull`]), nanoseconds per query: a floor check that the
+//!   engine's fan-out machinery doesn't cost more than it saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_circuit::{benchmarks, Circuit, TwoQ};
+use paradrive_engine::{run_batch, Batch, Costing, EngineConfig};
+use paradrive_transpiler::topology::CouplingMap;
+use std::f64::consts::PI;
+use std::hint::black_box;
+
+/// 32 six-qubit circuits, each carrying the same four general-class
+/// `CPhase(θ)·SWAP` blocks (interleaved `CX`s close the pair blocks), so
+/// every circuit past the first re-encounters cached classes.
+fn synth_batch_32() -> Batch {
+    let angles = [PI / 3.0, PI / 5.0, PI / 7.0, 2.0 * PI / 5.0];
+    let mut batch = Batch::new(CouplingMap::line(6));
+    for i in 0..32 {
+        let mut c = Circuit::new(6);
+        for &theta in &angles {
+            c.push_2q(TwoQ::CPhase(theta), 0, 1);
+            c.push_2q(TwoQ::Swap, 0, 1);
+            c.push_2q(TwoQ::Cx, 1, 2);
+        }
+        batch.push(format!("gadget{i}"), c);
+    }
+    batch
+}
+
+/// 36 family-class workloads (GHZ chains, linear VQE, QAOA rings) on the
+/// paper's 4×4 lattice — no synthesis, no coverage-stack init, so this
+/// times the engine's routing/consolidation fan-out itself.
+fn hull_batch_36() -> Batch {
+    let mut batch = Batch::new(CouplingMap::grid(4, 4));
+    for i in 0..12 {
+        let n = 10 + (i % 6);
+        batch.push(format!("ghz{n}_{i}"), benchmarks::ghz(n));
+        batch.push(
+            format!("vqe{n}_{i}"),
+            benchmarks::vqe_linear(n, 2, i as u64),
+        );
+        batch.push(format!("qaoa{n}_{i}"), benchmarks::qaoa(n, 1, i as u64));
+    }
+    batch
+}
+
+fn bench_synth_costing(c: &mut Criterion) {
+    let batch = synth_batch_32();
+    assert!(
+        batch.len() >= 32,
+        "speedup claim needs a >=32-circuit batch"
+    );
+    let base = EngineConfig::default()
+        .routing_seeds(2)
+        .costing(Costing::Synthesized);
+    let configs = [
+        ("engine/synth/1thread_nocache", base.threads(1).cache(false)),
+        ("engine/synth/1thread_cached", base.threads(1)),
+        ("engine/synth/4threads_cached", base.threads(4)),
+    ];
+    for (id, config) in configs {
+        c.bench_function(id, |b| {
+            b.iter(|| run_batch(black_box(&batch), &config).unwrap())
+        });
+    }
+}
+
+fn bench_hull_costing(c: &mut Criterion) {
+    let batch = hull_batch_36();
+    let base = EngineConfig::default().routing_seeds(4);
+    let configs = [
+        ("engine/hull/1thread_nocache", base.threads(1).cache(false)),
+        ("engine/hull/4threads_cached", base.threads(4)),
+    ];
+    for (id, config) in configs {
+        c.bench_function(id, |b| {
+            b.iter(|| run_batch(black_box(&batch), &config).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synth_costing, bench_hull_costing
+}
+criterion_main!(benches);

@@ -56,32 +56,57 @@ pub fn compare_models(
     let routed = route_best_of(circuit, map, routing_seeds)
         .map_err(|e| CoreError::Transpile(e.to_string()))?;
     let items = consolidate(&routed.circuit).map_err(|e| CoreError::Transpile(e.to_string()))?;
+    let baseline = BaselineSqrtIswap::new(d_1q);
+    let optimized = ParallelDriveRules::new(d_1q);
+    Ok(evaluate_consolidated(
+        name,
+        &items,
+        routed.swaps_inserted,
+        &baseline,
+        &optimized,
+        map.n_qubits(),
+        circuit.n_qubits(),
+        fidelity,
+    ))
+}
+
+/// Scores an already routed-and-consolidated circuit under a baseline and
+/// an optimized cost model — the back half of [`compare_models`], exposed
+/// so batch drivers (the `paradrive-engine` crate) share the exact same
+/// arithmetic and stay bit-for-bit comparable with the sequential path.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_consolidated(
+    name: &str,
+    items: &[Item],
+    swaps: usize,
+    baseline: &dyn CostModel,
+    optimized: &dyn CostModel,
+    device_qubits: usize,
+    circuit_qubits: usize,
+    fidelity: FidelityModel,
+) -> BenchmarkResult {
     let blocks = items
         .iter()
         .filter(|i| matches!(i, Item::Block { .. }))
         .count();
-
-    let baseline = BaselineSqrtIswap::new(d_1q);
-    let optimized = ParallelDriveRules::new(d_1q);
-    let n = map.n_qubits();
-    let base = schedule(&items, &baseline, n);
-    let opt = schedule(&items, &optimized, n);
+    let base = schedule(items, baseline, device_qubits);
+    let opt = schedule(items, optimized, device_qubits);
 
     let fq_base = fidelity.qubit_fidelity(base.duration);
     let fq_opt = fidelity.qubit_fidelity(opt.duration);
-    let ft_base = fidelity.total_fidelity(base.duration, circuit.n_qubits());
-    let ft_opt = fidelity.total_fidelity(opt.duration, circuit.n_qubits());
+    let ft_base = fidelity.total_fidelity(base.duration, circuit_qubits);
+    let ft_opt = fidelity.total_fidelity(opt.duration, circuit_qubits);
 
-    Ok(BenchmarkResult {
+    BenchmarkResult {
         name: name.to_string(),
-        swaps: routed.swaps_inserted,
+        swaps,
         blocks,
         baseline_duration: base.duration,
         optimized_duration: opt.duration,
         duration_reduction_pct: relative_reduction_pct(base.duration, opt.duration),
         fq_improvement_pct: relative_improvement_pct(fq_base, fq_opt),
         ft_improvement_pct: relative_improvement_pct(ft_base, ft_opt),
-    })
+    }
 }
 
 /// Runs the full Table VII study: the standard 16-qubit suite on the 4×4

@@ -1,0 +1,220 @@
+//! Batch submission: [`Job`]s, the [`Batch`] container, and [`EngineConfig`].
+
+use paradrive_circuit::benchmarks::standard_suite;
+use paradrive_circuit::Circuit;
+use paradrive_transpiler::fidelity::FidelityModel;
+use paradrive_transpiler::topology::CouplingMap;
+
+/// One unit of batch work: a named logical circuit to push through the
+/// route → consolidate → schedule → fidelity pipeline.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name carried into the report.
+    pub name: String,
+    /// The logical circuit.
+    pub circuit: Circuit,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(name: impl Into<String>, circuit: Circuit) -> Self {
+        Job {
+            name: name.into(),
+            circuit,
+        }
+    }
+}
+
+/// A batch of jobs sharing one coupling topology.
+///
+/// Submission order is preserved: report entries come back in the order
+/// jobs were pushed, regardless of which worker processed them.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    map: CouplingMap,
+    jobs: Vec<Job>,
+}
+
+impl Batch {
+    /// Creates an empty batch targeting `map`.
+    pub fn new(map: CouplingMap) -> Self {
+        Batch {
+            map,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The paper's Table VII workload suite on the 4×4 lattice.
+    pub fn standard(workload_seed: u64) -> Self {
+        let mut batch = Batch::new(CouplingMap::grid(4, 4));
+        for b in standard_suite(workload_seed) {
+            batch.push(b.name, b.circuit);
+        }
+        batch
+    }
+
+    /// Appends one job.
+    pub fn push(&mut self, name: impl Into<String>, circuit: Circuit) -> &mut Self {
+        self.jobs.push(Job::new(name, circuit));
+        self
+    }
+
+    /// The shared coupling topology.
+    pub fn map(&self) -> &CouplingMap {
+        &self.map
+    }
+
+    /// The submitted jobs, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// How the optimized model prices general (non-named) target classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Costing {
+    /// Query the precomputed Monte-Carlo coverage hulls
+    /// ([`paradrive_core::rules::ParallelDriveRules`]) — nanoseconds per
+    /// target, identical to the pre-existing sequential flow.
+    #[default]
+    Hull,
+    /// Synthesize each general target's template on demand
+    /// ([`paradrive_core::rules::SynthesizedParallelDrive`]) — the paper's
+    /// Algorithm-1 discipline, milliseconds per target; this is the mode
+    /// the decomposition cache pays for itself in.
+    Synthesized,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads; `0` uses [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Routing seeds per circuit (best-of-N, the paper uses 10).
+    pub routing_seeds: u64,
+    /// 1Q layer duration in normalized pulses (the paper uses 0.25).
+    pub d_1q: f64,
+    /// Decoherence model for the fidelity columns.
+    pub fidelity: FidelityModel,
+    /// Memoize decomposition costs across the whole batch.
+    pub cache: bool,
+    /// General-class costing discipline for the optimized model.
+    pub costing: Costing,
+    /// Keep each job's routed physical circuit in the report (costs
+    /// memory; used by determinism tests and downstream consumers).
+    pub keep_routed: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            routing_seeds: 10,
+            d_1q: 0.25,
+            fidelity: FidelityModel::paper(),
+            cache: true,
+            costing: Costing::default(),
+            keep_routed: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of routing seeds per circuit.
+    pub fn routing_seeds(mut self, seeds: u64) -> Self {
+        self.routing_seeds = seeds;
+        self
+    }
+
+    /// Enables or disables the decomposition cache.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
+    /// Selects the general-class costing discipline.
+    pub fn costing(mut self, costing: Costing) -> Self {
+        self.costing = costing;
+        self
+    }
+
+    /// Keeps routed circuits in the report.
+    pub fn keep_routed(mut self, on: bool) -> Self {
+        self.keep_routed = on;
+        self
+    }
+
+    /// The effective worker count for this configuration.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// The worker count [`crate::run_batch`] will actually spawn for
+    /// `batch`: [`EngineConfig::effective_threads`] clamped to the number
+    /// of routing units (jobs × seeds), never below one.
+    pub fn workers_for(&self, batch: &Batch) -> usize {
+        let units = batch.len() * self.routing_seeds.max(1) as usize;
+        self.effective_threads().min(units.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_circuit::benchmarks;
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let mut b = Batch::new(CouplingMap::grid(2, 2));
+        b.push("a", benchmarks::ghz(3))
+            .push("b", benchmarks::ghz(4));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.jobs()[0].name, "a");
+        assert_eq!(b.jobs()[1].name, "b");
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn standard_batch_matches_suite() {
+        let b = Batch::standard(7);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.map().n_qubits(), 16);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = EngineConfig::default()
+            .threads(3)
+            .routing_seeds(5)
+            .cache(false)
+            .keep_routed(true);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.effective_threads(), 3);
+        assert_eq!(c.routing_seeds, 5);
+        assert!(!c.cache);
+        assert!(c.keep_routed);
+        assert!(EngineConfig::default().effective_threads() >= 1);
+    }
+}

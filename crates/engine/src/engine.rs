@@ -1,0 +1,379 @@
+//! The scoped worker pool that drives a [`Batch`] through the pipeline.
+//!
+//! Work is split into *routing units* — one per `(job, seed)` pair — so
+//! that best-of-N routing inside a single circuit fans across workers just
+//! like distinct circuits do. Workers pull units from a shared atomic
+//! cursor; the worker that completes a job's **last** unit immediately
+//! runs that job's back half (best-seed selection → consolidate →
+//! schedule → fidelity), so there is no barrier between phases and no
+//! idle tail while one late circuit finishes routing.
+//!
+//! Determinism: every routing unit seeds its own `StdRng` from the unit's
+//! seed value, best-seed selection is "strictly fewer SWAPs, earliest seed
+//! wins" (exactly [`route_best_of`]'s rule), and results land in
+//! per-job slots — the output is a pure function of the batch and config,
+//! bit-for-bit identical at any thread count.
+//!
+//! [`route_best_of`]: paradrive_transpiler::routing::route_best_of
+
+use crate::batch::{Batch, Costing, EngineConfig};
+use crate::cache::{CachedCostModel, DecompositionCache};
+use crate::report::{CircuitReport, EngineReport};
+use crate::EngineError;
+use paradrive_core::flow::evaluate_consolidated;
+use paradrive_core::rules::{BaselineSqrtIswap, ParallelDriveRules, SynthesizedParallelDrive};
+use paradrive_transpiler::consolidate::consolidate;
+use paradrive_transpiler::routing::{route, Routed};
+use paradrive_transpiler::TranspileError;
+use paradrive_transpiler::{CostModel, GateCost};
+use paradrive_weyl::WeylPoint;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Runs every job in `batch` and returns the aggregated report.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] for the first failing job (in submission
+/// order); remaining jobs still run to completion.
+pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, EngineError> {
+    let started = Instant::now();
+    let seeds = config.routing_seeds.max(1) as usize;
+    let n_jobs = batch.len();
+    let unit_count = n_jobs * seeds;
+    let threads = config.workers_for(batch);
+
+    let caches = config
+        .cache
+        .then(|| (DecompositionCache::new(), DecompositionCache::new()));
+
+    let shared = Shared {
+        batch,
+        config,
+        seeds,
+        baseline: BaselineSqrtIswap::new(config.d_1q),
+        optimized: OptimizedModel::new(config),
+        caches: caches.as_ref(),
+        next_unit: AtomicUsize::new(0),
+        units_left: (0..n_jobs).map(|_| AtomicUsize::new(seeds)).collect(),
+        routed: (0..unit_count).map(|_| Mutex::new(None)).collect(),
+        route_nanos: (0..n_jobs).map(|_| AtomicU64::new(0)).collect(),
+        outcomes: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
+    };
+
+    if unit_count > 0 {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| shared.run_worker());
+            }
+        });
+    }
+
+    let mut circuits = Vec::with_capacity(n_jobs);
+    for (j, slot) in shared.outcomes.iter().enumerate() {
+        let outcome = slot
+            .lock()
+            .expect("outcome slot poisoned")
+            .take()
+            .expect("every job produces an outcome");
+        match outcome {
+            Ok(report) => circuits.push(report),
+            Err(e) => {
+                return Err(EngineError::Job {
+                    job: batch.jobs()[j].name.clone(),
+                    source: e,
+                })
+            }
+        }
+    }
+
+    Ok(EngineReport {
+        circuits,
+        threads,
+        wall_clock: started.elapsed(),
+        baseline_cache: caches.as_ref().map(|(b, _)| b.stats()),
+        optimized_cache: caches.as_ref().map(|(_, o)| o.stats()),
+    })
+}
+
+/// The optimized-side cost model, chosen by [`Costing`].
+enum OptimizedModel {
+    Hull(ParallelDriveRules),
+    Synthesized(SynthesizedParallelDrive),
+}
+
+impl OptimizedModel {
+    fn new(config: &EngineConfig) -> Self {
+        match config.costing {
+            Costing::Hull => OptimizedModel::Hull(ParallelDriveRules::new(config.d_1q)),
+            Costing::Synthesized => {
+                OptimizedModel::Synthesized(SynthesizedParallelDrive::new(config.d_1q))
+            }
+        }
+    }
+}
+
+impl CostModel for OptimizedModel {
+    fn cost(&self, target: WeylPoint) -> GateCost {
+        match self {
+            OptimizedModel::Hull(m) => m.cost(target),
+            OptimizedModel::Synthesized(m) => m.cost(target),
+        }
+    }
+
+    fn d_1q(&self) -> f64 {
+        match self {
+            OptimizedModel::Hull(m) => m.d_1q(),
+            OptimizedModel::Synthesized(m) => m.d_1q(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            OptimizedModel::Hull(m) => m.name(),
+            OptimizedModel::Synthesized(m) => m.name(),
+        }
+    }
+}
+
+/// State shared by every worker for one batch run.
+struct Shared<'a> {
+    batch: &'a Batch,
+    config: &'a EngineConfig,
+    seeds: usize,
+    baseline: BaselineSqrtIswap,
+    optimized: OptimizedModel,
+    caches: Option<&'a (DecompositionCache, DecompositionCache)>,
+    /// Cursor over the flattened `(job, seed)` routing units.
+    next_unit: AtomicUsize,
+    /// Routing units still outstanding per job; the worker that drops a
+    /// job's counter to zero owns its back half.
+    units_left: Vec<AtomicUsize>,
+    /// Routing results, indexed `job * seeds + seed`.
+    routed: Vec<Mutex<Option<Result<Routed, TranspileError>>>>,
+    /// Accumulated routing wall time per job, in nanoseconds.
+    route_nanos: Vec<AtomicU64>,
+    /// Final per-job outcome slots.
+    outcomes: Vec<Mutex<Option<Result<CircuitReport, TranspileError>>>>,
+}
+
+impl Shared<'_> {
+    fn run_worker(&self) {
+        let unit_count = self.routed.len();
+        loop {
+            let unit = self.next_unit.fetch_add(1, Ordering::Relaxed);
+            if unit >= unit_count {
+                return;
+            }
+            let job = unit / self.seeds;
+            let seed = (unit % self.seeds) as u64;
+
+            let t0 = Instant::now();
+            let result = route(&self.batch.jobs()[job].circuit, self.batch.map(), seed);
+            self.route_nanos[job].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            *self.routed[unit].lock().expect("routing slot poisoned") = Some(result);
+
+            // The worker that finishes a job's last routing unit runs the
+            // job's back half right away.
+            if self.units_left[job].fetch_sub(1, Ordering::AcqRel) == 1 {
+                let outcome = self.finish_job(job);
+                *self.outcomes[job].lock().expect("outcome slot poisoned") = Some(outcome);
+            }
+        }
+    }
+
+    /// Best-seed selection, consolidation, scheduling and scoring for one
+    /// fully routed job.
+    fn finish_job(&self, job: usize) -> Result<CircuitReport, TranspileError> {
+        let t0 = Instant::now();
+        // Pick the run with strictly fewest SWAPs, earliest seed winning
+        // ties — identical to `route_best_of`'s sequential rule.
+        let mut best: Option<Routed> = None;
+        for seed in 0..self.seeds {
+            let routed = self.routed[job * self.seeds + seed]
+                .lock()
+                .expect("routing slot poisoned")
+                .take()
+                .expect("all units of a finished job are routed")?;
+            if best
+                .as_ref()
+                .is_none_or(|b| routed.swaps_inserted < b.swaps_inserted)
+            {
+                best = Some(routed);
+            }
+        }
+        let best = best.expect("at least one seed per job");
+        let items = consolidate(&best.circuit)?;
+
+        let spec = &self.batch.jobs()[job];
+        let result = match self.caches {
+            Some((bcache, ocache)) => evaluate_consolidated(
+                &spec.name,
+                &items,
+                best.swaps_inserted,
+                &CachedCostModel::new(&self.baseline, bcache),
+                &CachedCostModel::new(&self.optimized, ocache),
+                self.batch.map().n_qubits(),
+                spec.circuit.n_qubits(),
+                self.config.fidelity,
+            ),
+            None => evaluate_consolidated(
+                &spec.name,
+                &items,
+                best.swaps_inserted,
+                &self.baseline,
+                &self.optimized,
+                self.batch.map().n_qubits(),
+                spec.circuit.n_qubits(),
+                self.config.fidelity,
+            ),
+        };
+
+        Ok(CircuitReport {
+            result,
+            routed: self.config.keep_routed.then_some(best.circuit),
+            route_time: Duration::from_nanos(self.route_nanos[job].load(Ordering::Relaxed)),
+            pipeline_time: t0.elapsed(),
+        })
+    }
+}
+
+// `CostModel` has no `Sync` bound, so make the assumptions explicit: both
+// models are plain-old-data plus lazily initialized shared coverage
+// stacks, and the engine hands them to scoped workers by reference.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<BaselineSqrtIswap>();
+    assert_sync::<ParallelDriveRules>();
+    assert_sync::<SynthesizedParallelDrive>();
+    assert_sync::<DecompositionCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradrive_circuit::benchmarks;
+    use paradrive_transpiler::topology::CouplingMap;
+
+    /// Family-class circuits only (CNOT/iSWAP/SWAP blocks), so the lazily
+    /// built Monte-Carlo coverage stacks are never consulted and the tests
+    /// stay fast; the repo-level `engine_determinism` integration test
+    /// covers the general-class path.
+    fn small_batch() -> Batch {
+        let mut b = Batch::new(CouplingMap::grid(3, 3));
+        b.push("ghz8", benchmarks::ghz(8));
+        b.push("ghz9", benchmarks::ghz(9));
+        b.push("vqe8", benchmarks::vqe_linear(8, 2, 5));
+        b
+    }
+
+    fn results_identical(a: &EngineReport, b: &EngineReport) {
+        assert_eq!(a.circuits.len(), b.circuits.len());
+        for (x, y) in a.circuits.iter().zip(&b.circuits) {
+            let (r, s) = (&x.result, &y.result);
+            assert_eq!(r.name, s.name);
+            assert_eq!(r.swaps, s.swaps);
+            assert_eq!(r.blocks, s.blocks);
+            assert_eq!(
+                r.baseline_duration.to_bits(),
+                s.baseline_duration.to_bits(),
+                "{}",
+                r.name
+            );
+            assert_eq!(
+                r.optimized_duration.to_bits(),
+                s.optimized_duration.to_bits()
+            );
+            assert_eq!(
+                r.ft_improvement_pct.to_bits(),
+                s.ft_improvement_pct.to_bits()
+            );
+            assert_eq!(x.routed, y.routed);
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let batch = small_batch();
+        let base = EngineConfig::default().routing_seeds(4).keep_routed(true);
+        let one = run_batch(&batch, &base.threads(1)).unwrap();
+        let four = run_batch(&batch, &base.threads(4)).unwrap();
+        results_identical(&one, &four);
+        assert_eq!(one.threads, 1);
+        assert_eq!(four.threads, 4);
+    }
+
+    #[test]
+    fn cache_toggle_agrees_bitwise() {
+        let batch = small_batch();
+        let base = EngineConfig::default().routing_seeds(3).keep_routed(true);
+        let cached = run_batch(&batch, &base.threads(2)).unwrap();
+        let raw = run_batch(&batch, &base.threads(2).cache(false)).unwrap();
+        results_identical(&cached, &raw);
+        let stats = cached.cache_stats().unwrap();
+        assert!(stats.hits > 0, "no cache hits over a repeated-class batch");
+        assert!(raw.cache_stats().is_none());
+    }
+
+    #[test]
+    fn synthesized_costing_is_deterministic_and_cache_heavy() {
+        // Circuits whose blocks merge CPhase·SWAP on one pair — general
+        // (off-base-plane) classes drawn from a small angle set that
+        // repeats across circuits, so synthesis costing hits the cache.
+        use paradrive_circuit::{Circuit, TwoQ};
+        let mut batch = Batch::new(CouplingMap::grid(2, 2));
+        for i in 0..6 {
+            let mut c = Circuit::new(4);
+            for k in 0..3u32 {
+                let theta = std::f64::consts::PI / (2 + ((i + k as usize) % 3)) as f64;
+                c.push_2q(TwoQ::CPhase(theta), 0, 1);
+                c.push_2q(TwoQ::Swap, 0, 1);
+                c.push_2q(TwoQ::Cx, 2, 3);
+            }
+            batch.push(format!("gadget{i}"), c);
+        }
+        let base = EngineConfig::default()
+            .routing_seeds(2)
+            .costing(Costing::Synthesized)
+            .keep_routed(true);
+        let cached = run_batch(&batch, &base.threads(2)).unwrap();
+        let seq = run_batch(&batch, &base.threads(1).cache(false)).unwrap();
+        results_identical(&cached, &seq);
+        let stats = cached.cache_stats().unwrap();
+        assert!(
+            stats.hits > stats.misses,
+            "repeated classes should mostly hit: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = Batch::new(CouplingMap::grid(2, 2));
+        let r = run_batch(&batch, &EngineConfig::default()).unwrap();
+        assert!(r.circuits.is_empty());
+    }
+
+    #[test]
+    fn oversized_circuit_reports_job_error() {
+        let mut batch = Batch::new(CouplingMap::grid(2, 2));
+        batch.push("ok", benchmarks::ghz(4));
+        batch.push("too-wide", benchmarks::ghz(9));
+        let err = run_batch(&batch, &EngineConfig::default().threads(2)).unwrap_err();
+        match err {
+            EngineError::Job { job, .. } => assert_eq!(job, "too-wide"),
+        }
+    }
+
+    #[test]
+    fn thread_cap_never_exceeds_units() {
+        let mut batch = Batch::new(CouplingMap::grid(2, 2));
+        batch.push("ghz4", benchmarks::ghz(4));
+        let r = run_batch(
+            &batch,
+            &EngineConfig::default().routing_seeds(2).threads(64),
+        )
+        .unwrap();
+        assert!(r.threads <= 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! `paradrive-engine` — a batched, multi-threaded transpilation engine
+//! with a canonical-Weyl decomposition cache.
+//!
+//! The paper's codesign loop (Section IV-B) scores every basis candidate
+//! by transpiling a whole benchmark suite: route with best-of-N seeds,
+//! consolidate, charge each block through the decomposition rules, score
+//! fidelity. This crate turns that from a one-circuit-at-a-time loop into
+//! a batch system:
+//!
+//! - [`Batch`] / [`Job`] collect circuits sharing one topology;
+//! - [`run_batch`] fans both circuits *and* the routing seeds inside each
+//!   circuit across a [`std::thread::scope`] worker pool — deterministic
+//!   and bit-for-bit identical to the sequential pipeline at any thread
+//!   count;
+//! - [`DecompositionCache`] memoizes any
+//!   [`CostModel`](paradrive_transpiler::CostModel) across the whole
+//!   batch, keyed by the quantized
+//!   [`WeylKey`](paradrive_weyl::WeylKey) with exact-bit verification,
+//!   and reports hit/miss counters;
+//! - [`EngineReport`] aggregates per-circuit results, timings, cache
+//!   statistics and the batch wall clock.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_engine::{run_batch, Batch, EngineConfig};
+//! use paradrive_circuit::benchmarks;
+//! use paradrive_transpiler::topology::CouplingMap;
+//!
+//! let mut batch = Batch::new(CouplingMap::grid(3, 3));
+//! batch.push("ghz8", benchmarks::ghz(8));
+//! batch.push("ghz9", benchmarks::ghz(9));
+//! let report = run_batch(&batch, &EngineConfig::default().threads(2).routing_seeds(3))?;
+//! assert_eq!(report.circuits.len(), 2);
+//! assert!(report.cache_hit_rate().unwrap() > 0.0);
+//! # Ok::<(), paradrive_engine::EngineError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod cache;
+mod engine;
+mod report;
+
+pub use batch::{Batch, Costing, EngineConfig, Job};
+pub use cache::{CacheStats, CachedCostModel, DecompositionCache};
+pub use engine::run_batch;
+pub use report::{CircuitReport, EngineReport};
+
+use paradrive_transpiler::TranspileError;
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A job failed inside the pipeline; the first failure in submission
+    /// order is reported.
+    Job {
+        /// The failing job's name.
+        job: String,
+        /// The underlying transpilation failure.
+        source: TranspileError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Job { job, source } => write!(f, "job `{job}` failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Job { source, .. } => Some(source),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Aggregated batch results: [`CircuitReport`] and [`EngineReport`].
+
+use crate::cache::CacheStats;
+use paradrive_circuit::Circuit;
+use paradrive_core::flow::BenchmarkResult;
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of one job.
+#[derive(Debug, Clone)]
+pub struct CircuitReport {
+    /// Scheduling/fidelity numbers, identical in layout to the sequential
+    /// flow's per-benchmark result.
+    pub result: BenchmarkResult,
+    /// The best routed physical circuit (only when
+    /// [`crate::EngineConfig::keep_routed`] is set).
+    pub routed: Option<Circuit>,
+    /// Wall time spent routing this circuit, summed over its seeds
+    /// (seeds may have run on different workers concurrently).
+    pub route_time: Duration,
+    /// Wall time spent consolidating, scheduling and scoring.
+    pub pipeline_time: Duration,
+}
+
+/// The outcome of a whole batch.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-circuit outcomes, in submission order.
+    pub circuits: Vec<CircuitReport>,
+    /// Worker threads the batch actually ran with.
+    pub threads: usize,
+    /// End-to-end batch wall clock.
+    pub wall_clock: Duration,
+    /// Baseline-model cache counters (`None` with the cache disabled).
+    pub baseline_cache: Option<CacheStats>,
+    /// Optimized-model cache counters (`None` with the cache disabled).
+    pub optimized_cache: Option<CacheStats>,
+}
+
+impl EngineReport {
+    /// Combined counters over both per-model caches.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match (self.baseline_cache, self.optimized_cache) {
+            (Some(b), Some(o)) => Some(b.merged(o)),
+            (one, other) => one.or(other),
+        }
+    }
+
+    /// Combined cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache_stats().and_then(|s| s.hit_rate())
+    }
+
+    /// Mean duration reduction over the batch, percent.
+    pub fn average_reduction_pct(&self) -> f64 {
+        if self.circuits.is_empty() {
+            return f64::NAN;
+        }
+        self.circuits
+            .iter()
+            .map(|c| c.result.duration_reduction_pct)
+            .sum::<f64>()
+            / self.circuits.len() as f64
+    }
+
+    /// Total CPU time attributed to jobs (routing + pipeline); with N
+    /// workers this can exceed [`EngineReport::wall_clock`] by up to N×.
+    pub fn busy_time(&self) -> Duration {
+        self.circuits
+            .iter()
+            .map(|c| c.route_time + c.pipeline_time)
+            .sum()
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
+            "circuit", "swaps", "blocks", "D[base]", "D[opt]", "Δ%", "time"
+        )?;
+        for c in &self.circuits {
+            let r = &c.result;
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>8.1}ms",
+                r.name,
+                r.swaps,
+                r.blocks,
+                r.baseline_duration,
+                r.optimized_duration,
+                r.duration_reduction_pct,
+                (c.route_time + c.pipeline_time).as_secs_f64() * 1e3,
+            )?;
+        }
+        writeln!(
+            f,
+            "batch: {} circuits on {} threads in {:.1} ms (busy {:.1} ms), mean reduction {:.1}%",
+            self.circuits.len(),
+            self.threads,
+            self.wall_clock.as_secs_f64() * 1e3,
+            self.busy_time().as_secs_f64() * 1e3,
+            self.average_reduction_pct(),
+        )?;
+        match self.cache_stats() {
+            Some(s) => writeln!(
+                f,
+                "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+                s.hits,
+                s.misses,
+                s.hit_rate().unwrap_or(0.0) * 100.0,
+                s.entries,
+            ),
+            None => writeln!(f, "cache: disabled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, reduction: f64) -> BenchmarkResult {
+        BenchmarkResult {
+            name: name.to_string(),
+            swaps: 2,
+            blocks: 5,
+            baseline_duration: 10.0,
+            optimized_duration: 10.0 * (1.0 - reduction / 100.0),
+            duration_reduction_pct: reduction,
+            fq_improvement_pct: 0.1,
+            ft_improvement_pct: 1.0,
+        }
+    }
+
+    fn report() -> EngineReport {
+        EngineReport {
+            circuits: vec![
+                CircuitReport {
+                    result: result("a", 10.0),
+                    routed: None,
+                    route_time: Duration::from_millis(2),
+                    pipeline_time: Duration::from_millis(3),
+                },
+                CircuitReport {
+                    result: result("b", 20.0),
+                    routed: None,
+                    route_time: Duration::from_millis(1),
+                    pipeline_time: Duration::from_millis(4),
+                },
+            ],
+            threads: 2,
+            wall_clock: Duration::from_millis(6),
+            baseline_cache: Some(CacheStats {
+                hits: 30,
+                misses: 10,
+                entries: 10,
+            }),
+            optimized_cache: Some(CacheStats {
+                hits: 20,
+                misses: 20,
+                entries: 20,
+            }),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert!((r.average_reduction_pct() - 15.0).abs() < 1e-12);
+        assert_eq!(r.busy_time(), Duration::from_millis(10));
+        let s = r.cache_stats().unwrap();
+        assert_eq!((s.hits, s.misses, s.entries), (50, 30, 30));
+        assert!((r.cache_hit_rate().unwrap() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_cache_and_rows() {
+        let text = report().to_string();
+        assert!(text.contains("cache: 50 hits / 30 misses"));
+        assert!(text.contains("mean reduction 15.0%"));
+        let mut disabled = report();
+        disabled.baseline_cache = None;
+        disabled.optimized_cache = None;
+        assert!(disabled.to_string().contains("cache: disabled"));
+    }
+
+    #[test]
+    fn empty_report_mean_is_nan() {
+        let r = EngineReport {
+            circuits: vec![],
+            threads: 1,
+            wall_clock: Duration::ZERO,
+            baseline_cache: None,
+            optimized_cache: None,
+        };
+        assert!(r.average_reduction_pct().is_nan());
+        assert!(r.cache_hit_rate().is_none());
+    }
+}

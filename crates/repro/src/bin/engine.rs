@@ -1,0 +1,130 @@
+//! `paradrive-engine` CLI: run the paper's benchmark suite through the
+//! batched multi-threaded engine and print the aggregated report.
+//!
+//! ```text
+//! cargo run --release -p paradrive-repro --bin engine -- \
+//!     [--threads N] [--seeds N] [--no-cache] [--synth] [--suite-seed N] [NAME ...]
+//! ```
+//!
+//! `--synth` prices general classes by per-target template synthesis (the
+//! paper's Algorithm-1 discipline) instead of the precomputed coverage
+//! hulls — the regime where the decomposition cache dominates.
+//!
+//! Positional `NAME`s select benchmarks (case-insensitive: QV, VQE_L, GHZ,
+//! HLF, QFT, Adder, QAOA, VQE_F, Multiplier); with none given the full
+//! Table VII suite runs. `--threads 0` (the default) uses every core.
+
+use paradrive_circuit::benchmarks::standard_suite;
+use paradrive_engine::{run_batch, Batch, Costing, EngineConfig};
+use paradrive_transpiler::topology::CouplingMap;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    seeds: u64,
+    cache: bool,
+    costing: Costing,
+    suite_seed: u64,
+    names: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 0,
+        seeds: 10,
+        cache: true,
+        costing: Costing::Hull,
+        suite_seed: 7,
+        names: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match arg.as_str() {
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--suite-seed" => {
+                args.suite_seed = value("--suite-seed")?
+                    .parse()
+                    .map_err(|e| format!("--suite-seed: {e}"))?;
+            }
+            "--no-cache" => args.cache = false,
+            "--synth" => args.costing = Costing::Synthesized,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: engine [--threads N] [--seeds N] [--no-cache] [--synth] \
+                            [--suite-seed N] [NAME ...]"
+                        .to_string(),
+                )
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            name => args.names.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let batch = if args.names.is_empty() {
+        Batch::standard(args.suite_seed)
+    } else {
+        let suite = standard_suite(args.suite_seed);
+        let mut batch = Batch::new(CouplingMap::grid(4, 4));
+        for want in &args.names {
+            match suite.iter().find(|b| b.name.eq_ignore_ascii_case(want)) {
+                Some(b) => {
+                    batch.push(b.name, b.circuit.clone());
+                }
+                None => {
+                    eprintln!("unknown benchmark `{want}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        batch
+    };
+
+    let config = EngineConfig::default()
+        .threads(args.threads)
+        .routing_seeds(args.seeds)
+        .cache(args.cache)
+        .costing(args.costing);
+    println!(
+        "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing",
+        batch.len(),
+        config.workers_for(&batch),
+        args.seeds,
+        if args.cache { "on" } else { "off" },
+        if args.costing == Costing::Hull {
+            "hull"
+        } else {
+            "synthesized"
+        },
+    );
+    match run_batch(&batch, &config) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("engine failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -250,6 +250,17 @@ mod tests {
     use super::*;
     use paradrive_circuit::{OneQ, TwoQ};
 
+    /// Asserts an [`Item`] matches a pattern and runs a body with its
+    /// bindings — one shared failure arm instead of a `panic!` per site.
+    macro_rules! expect_item {
+        ($item:expr, $pat:pat => $body:expr) => {
+            match $item {
+                $pat => $body,
+                other => panic!("unexpected item: {other:?}"),
+            }
+        };
+    }
+
     #[test]
     fn cnot_swap_merges_to_iswap() {
         let mut c = Circuit::new(2);
@@ -257,20 +268,13 @@ mod tests {
         c.push_2q(TwoQ::Swap, 0, 1);
         let items = consolidate(&c).unwrap();
         assert_eq!(items.len(), 1);
-        match &items[0] {
-            Item::Block {
-                point,
-                merged_gates,
-                ..
-            } => {
-                assert_eq!(*merged_gates, 2);
-                assert!(
-                    point.chamber_dist(WeylPoint::ISWAP) < 1e-7,
-                    "CNOT·SWAP should be iSWAP class, got {point}"
-                );
-            }
-            other => panic!("expected block, got {other:?}"),
-        }
+        expect_item!(&items[0], Item::Block { point, merged_gates, .. } => {
+            assert_eq!(*merged_gates, 2);
+            assert!(
+                point.chamber_dist(WeylPoint::ISWAP) < 1e-7,
+                "CNOT·SWAP should be iSWAP class, got {point}"
+            );
+        });
     }
 
     #[test]
@@ -306,15 +310,12 @@ mod tests {
         c.push_2q(TwoQ::Cx, 1, 0);
         let items = consolidate(&c).unwrap();
         assert_eq!(items.len(), 1);
-        match &items[0] {
-            Item::Block { point, .. } => {
-                // CX(0,1)·CX(1,0) ≅ DCNOT ≅ CAN(π/2, π/4, ... ) — at any
-                // rate NOT the CNOT class and NOT identity.
-                assert!(point.chamber_dist(WeylPoint::CNOT) > 0.1);
-                assert!(point.chamber_dist(WeylPoint::IDENTITY) > 0.1);
-            }
-            other => panic!("expected block, got {other:?}"),
-        }
+        expect_item!(&items[0], Item::Block { point, .. } => {
+            // CX(0,1)·CX(1,0) ≅ DCNOT ≅ CAN(π/2, π/4, ... ) — at any
+            // rate NOT the CNOT class and NOT identity.
+            assert!(point.chamber_dist(WeylPoint::CNOT) > 0.1);
+            assert!(point.chamber_dist(WeylPoint::IDENTITY) > 0.1);
+        });
     }
 
     #[test]
@@ -324,10 +325,7 @@ mod tests {
         c.push_1q(OneQ::S, 0);
         let items = consolidate(&c).unwrap();
         assert_eq!(items.len(), 1);
-        match &items[0] {
-            Item::OneQRun { virtual_only, .. } => assert!(virtual_only),
-            other => panic!("expected 1Q run, got {other:?}"),
-        }
+        expect_item!(&items[0], Item::OneQRun { virtual_only, .. } => assert!(virtual_only));
     }
 
     #[test]
@@ -336,10 +334,7 @@ mod tests {
         c.push_1q(OneQ::Rz(0.2), 0);
         c.push_1q(OneQ::H, 0);
         let items = consolidate(&c).unwrap();
-        match &items[0] {
-            Item::OneQRun { virtual_only, .. } => assert!(!virtual_only),
-            other => panic!("unexpected {other:?}"),
-        }
+        expect_item!(&items[0], Item::OneQRun { virtual_only, .. } => assert!(!virtual_only));
     }
 
     #[test]
@@ -350,12 +345,9 @@ mod tests {
         let items = consolidate(&c).unwrap();
         // The H is absorbed: one block, no standalone run, class unchanged.
         assert_eq!(items.len(), 1);
-        match &items[0] {
-            Item::Block { point, .. } => {
-                assert!(point.chamber_dist(WeylPoint::CNOT) < 1e-7);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        expect_item!(&items[0], Item::Block { point, .. } => {
+            assert!(point.chamber_dist(WeylPoint::CNOT) < 1e-7);
+        });
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! [`WeylKey`] — a hashable, quantized canonical-coordinate key.
+//!
+//! [`WeylPoint`] is an `f64` triple and therefore neither `Eq` nor `Hash`,
+//! so it cannot index a memoization table directly. `WeylKey` quantizes the
+//! coordinates onto an integer lattice of pitch [`WeylKey::DEFAULT_QUANTUM`]
+//! (after folding the base-plane mirror identification
+//! `(c1, c2, 0) ~ (π−c1, c2, 0)` that [`crate::magic`] already
+//! canonicalizes), giving a total-equality key suitable for `HashMap`s —
+//! the backbone of the engine crate's cross-circuit decomposition cache.
+//!
+//! The quantum trades collision resistance against hit rate: points closer
+//! than half a quantum per coordinate share a key, points further than a
+//! full quantum apart never do. The default of 1 nrad is far below the
+//! numerical noise floor of coordinate extraction, so distinct gate classes
+//! produced by [`crate::magic::coordinates`] never alias, while repeated
+//! extractions of the same block land on the same lattice site.
+
+use crate::WeylPoint;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// A quantized, hashable key for a canonical [`WeylPoint`].
+///
+/// Construction folds the base-plane mirror symmetry, then rounds each
+/// coordinate to the nearest multiple of the quantum. Two canonical points
+/// of the same local-equivalence class map to the same key; points more
+/// than one quantum apart (in any folded coordinate) map to different keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeylKey {
+    /// Quantized first coordinate, in quanta.
+    q1: i64,
+    /// Quantized second coordinate, in quanta.
+    q2: i64,
+    /// Quantized third coordinate, in quanta.
+    q3: i64,
+}
+
+impl WeylKey {
+    /// The default lattice pitch, in radians: fine enough that distinct
+    /// chamber points never alias, coarse enough to absorb extraction noise.
+    pub const DEFAULT_QUANTUM: f64 = 1e-9;
+
+    /// Builds the key for `point` at the default quantum.
+    pub fn new(point: WeylPoint) -> Self {
+        Self::with_quantum(point, Self::DEFAULT_QUANTUM)
+    }
+
+    /// Builds the key for `point` with an explicit lattice pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `quantum` is positive and finite.
+    pub fn with_quantum(point: WeylPoint, quantum: f64) -> Self {
+        assert!(
+            quantum > 0.0 && quantum.is_finite(),
+            "quantum must be positive and finite"
+        );
+        let WeylPoint { mut c1, c2, c3 } = point;
+        // Rounding also snaps signed zeros and sub-quantum dust onto the
+        // lattice origin.
+        let q = |x: f64| (x / quantum).round() as i64;
+        let q3 = q(c3);
+        // Fold the base-plane mirror identification (c1, c2, 0) ~
+        // (π−c1, c2, 0) so that both representatives share a key — but
+        // only when c3 actually lands on the lattice origin; a point whose
+        // third coordinate rounds to a nonzero lattice site is off the
+        // base plane, where no identification exists.
+        if q3 == 0 && c1 > FRAC_PI_2 {
+            c1 = PI - c1;
+        }
+        WeylKey {
+            q1: q(c1),
+            q2: q(c2),
+            q3,
+        }
+    }
+
+    /// The lattice coordinates, in quanta.
+    pub fn as_lattice(self) -> [i64; 3] {
+        [self.q1, self.q2, self.q3]
+    }
+}
+
+impl From<WeylPoint> for WeylKey {
+    fn from(p: WeylPoint) -> Self {
+        WeylKey::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn named_points_get_distinct_keys() {
+        let points = [
+            WeylPoint::IDENTITY,
+            WeylPoint::CNOT,
+            WeylPoint::SQRT_CNOT,
+            WeylPoint::ISWAP,
+            WeylPoint::SQRT_ISWAP,
+            WeylPoint::B,
+            WeylPoint::SQRT_B,
+            WeylPoint::SWAP,
+            WeylPoint::SQRT_SWAP,
+        ];
+        let mut seen: HashMap<WeylKey, WeylPoint> = HashMap::new();
+        for p in points {
+            if let Some(prev) = seen.insert(WeylKey::new(p), p) {
+                panic!("{prev} and {p} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn base_plane_mirror_folds() {
+        // (c1, c2, 0) and (π−c1, c2, 0) are the same local class.
+        let p = WeylPoint::new(FRAC_PI_4, 0.1, 0.0);
+        let mirror = WeylPoint::new(PI - FRAC_PI_4, 0.1, 0.0);
+        assert_eq!(WeylKey::new(p), WeylKey::new(mirror));
+        // Off the base plane there is no identification.
+        let q = WeylPoint::new(FRAC_PI_4, 0.1, 0.05);
+        let off_mirror = WeylPoint::new(PI - FRAC_PI_4, 0.1, 0.05);
+        assert_ne!(WeylKey::new(q), WeylKey::new(off_mirror));
+    }
+
+    #[test]
+    fn extraction_noise_is_absorbed() {
+        let p = WeylPoint::CNOT;
+        let noisy = WeylPoint::new(p.c1 + 2e-10, p.c2 - 1e-10, p.c3 + 1e-10);
+        assert_eq!(WeylKey::new(p), WeylKey::new(noisy));
+    }
+
+    #[test]
+    fn near_base_plane_but_nonzero_c3_does_not_fold() {
+        // c3 = 0.7 quanta is below the old |c3| < quantum fold guard but
+        // rounds to a *nonzero* lattice site — these two points are far
+        // apart in the chamber and must not share a key.
+        let c3 = 0.7 * WeylKey::DEFAULT_QUANTUM;
+        let right = WeylPoint::new(FRAC_PI_2 + 0.3, 0.2, c3);
+        let left = WeylPoint::new(FRAC_PI_2 - 0.3, 0.2, c3);
+        assert_ne!(WeylKey::new(right), WeylKey::new(left));
+    }
+
+    #[test]
+    fn negative_zero_matches_positive_zero() {
+        let p = WeylPoint::new(FRAC_PI_4, 0.0, 0.0);
+        let nz = WeylPoint::new(FRAC_PI_4, -0.0, -0.0);
+        assert_eq!(WeylKey::new(p), WeylKey::new(nz));
+    }
+
+    #[test]
+    fn quantum_must_be_positive() {
+        let r = std::panic::catch_unwind(|| WeylKey::with_quantum(WeylPoint::CNOT, 0.0));
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Canonically-equivalent points — base-plane mirrors, the symmetry
+        /// `magic::coordinates` folds — produce equal keys.
+        #[test]
+        fn prop_mirror_equivalent_points_share_keys(
+            a in 0.0..FRAC_PI_2,
+            f2 in 0.0..1.0f64,
+        ) {
+            // A canonical base-plane point: c1 ≥ c2, c3 = 0.
+            let p = WeylPoint::new(a, a * f2, 0.0);
+            let mirror = WeylPoint::new(PI - p.c1, p.c2, 0.0);
+            prop_assert_eq!(WeylKey::new(p), WeylKey::new(mirror));
+            // Round-tripping through the canonicalizer lands on the same key.
+            let canon = crate::magic::canonicalize(mirror).unwrap();
+            let dist = canon.chamber_dist(p);
+            // The canonicalizer reports coordinates with numerical noise well
+            // below the quantum only when it recovered the same class at all.
+            prop_assert!(dist < 1e-7, "canonicalize drifted by {}", dist);
+        }
+
+        /// Nearby-but-distinct points (separated by a few quanta) never
+        /// collide: rounding moves every coordinate by an exact lattice
+        /// offset, so separation ≥ 2 quanta guarantees distinct keys.
+        #[test]
+        fn prop_distinct_points_do_not_collide(
+            a in 0.01..FRAC_PI_2,
+            f2 in 0.0..1.0f64,
+            f3 in 0.0..1.0f64,
+            sep in 2i64..1000,
+        ) {
+            let quantum = WeylKey::DEFAULT_QUANTUM;
+            let c2 = a * f2;
+            let c3 = c2 * f3;
+            let p = WeylPoint::new(a, c2, c3);
+            let delta = sep as f64 * quantum;
+            // Perturb each coordinate in turn by an exact multiple of the
+            // quantum; the keys must differ in that lattice coordinate.
+            let variants = [
+                WeylPoint::new(a + delta, c2, c3),
+                WeylPoint::new(a, c2 + delta, c3),
+                WeylPoint::new(a, c2, c3 + delta),
+            ];
+            for v in variants {
+                // Stay away from the mirror-fold seam, where c1 is remapped.
+                if (v.c3.abs() < quantum || p.c3.abs() < quantum)
+                    && (v.c1 > FRAC_PI_2 || p.c1 > FRAC_PI_2)
+                {
+                    continue;
+                }
+                prop_assert_ne!(WeylKey::new(p), WeylKey::new(v));
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //!   perfect-entangler predicate,
 //! - [`coordinates`](magic::coordinates) — the unitary → coordinate map via
 //!   the magic-basis gamma-matrix spectrum,
+//! - [`WeylKey`] — a hashable quantized coordinate key for memoization,
 //! - [`invariants`] — the Makhlin local invariants `(g1, g2, g3)`,
 //! - [`gates`] — the named 2Q gate zoo of the paper (iSWAP, √iSWAP, CNOT,
 //!   √CNOT, B, √B, SWAP, …) and fractional-pulse variants,
@@ -37,11 +38,13 @@ pub mod gates;
 pub mod haar;
 pub mod invariants;
 pub mod kak;
+pub mod key;
 pub mod magic;
 pub mod trajectory;
 
 pub use coord::WeylPoint;
 pub use invariants::MakhlinInvariants;
+pub use key::WeylKey;
 
 /// Errors produced by Weyl-chamber computations.
 #[derive(Debug, Clone, PartialEq)]

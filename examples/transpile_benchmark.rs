@@ -1,58 +1,59 @@
-//! Transpile a workload end to end and compare the baseline √iSWAP flow
-//! against the parallel-drive optimized flow.
+//! Transpile a workload batch end to end on the batched engine and
+//! compare the baseline √iSWAP flow against the parallel-drive optimized
+//! flow, with cross-circuit decomposition caching.
 //!
-//! Run with `cargo run --release --example transpile_benchmark [name]`
-//! where `name` is one of QV, VQE_L, GHZ, HLF, QFT, Adder, QAOA, VQE_F,
-//! Multiplier (default QFT).
+//! Run with `cargo run --release --example transpile_benchmark [name ...]`
+//! where each `name` is one of QV, VQE_L, GHZ, HLF, QFT, Adder, QAOA,
+//! VQE_F, Multiplier. With no names the full Table VII suite is submitted
+//! as one batch.
 
 use paradrive::circuit::benchmarks::standard_suite;
-use paradrive::core::flow::compare_models;
-use paradrive::transpiler::fidelity::FidelityModel;
+use paradrive::engine::{run_batch, Batch, EngineConfig};
 use paradrive::transpiler::topology::CouplingMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let want = std::env::args().nth(1).unwrap_or_else(|| "QFT".to_string());
-    let bench = standard_suite(7)
-        .into_iter()
-        .find(|b| b.name.eq_ignore_ascii_case(&want))
-        .ok_or_else(|| format!("unknown benchmark `{want}`"))?;
+    let wanted: Vec<String> = std::env::args().skip(1).collect();
+    let batch = if wanted.is_empty() {
+        Batch::standard(7)
+    } else {
+        let suite = standard_suite(7);
+        let mut batch = Batch::new(CouplingMap::grid(4, 4));
+        for want in &wanted {
+            let b = suite
+                .iter()
+                .find(|b| b.name.eq_ignore_ascii_case(want))
+                .ok_or_else(|| format!("unknown benchmark `{want}`"))?;
+            batch.push(b.name, b.circuit.clone());
+        }
+        batch
+    };
 
-    println!(
-        "{}: {} qubits, {} 2Q gates, depth {}",
-        bench.name,
-        bench.circuit.n_qubits(),
-        bench.circuit.two_q_count(),
-        bench.circuit.depth()
-    );
+    for job in batch.jobs() {
+        println!(
+            "{}: {} qubits, {} 2Q gates, depth {}",
+            job.name,
+            job.circuit.n_qubits(),
+            job.circuit.two_q_count(),
+            job.circuit.depth()
+        );
+    }
 
-    let map = CouplingMap::grid(4, 4);
-    let r = compare_models(
-        bench.name,
-        &bench.circuit,
-        &map,
-        10,
-        0.25,
-        FidelityModel::paper(),
-    )?;
-
-    println!("SWAPs inserted (best of 10 routing seeds): {}", r.swaps);
-    println!("consolidated 2Q blocks: {}", r.blocks);
+    // Best-of-10 routing per circuit, as in the paper; circuits and
+    // routing seeds fan out over all cores, decomposition costs are
+    // memoized across the whole batch.
+    let config = EngineConfig::default().routing_seeds(10);
     println!(
-        "baseline duration:  {:.2} iSWAP pulses",
-        r.baseline_duration
+        "\nsubmitting {} circuits to the engine on {} threads...\n",
+        batch.len(),
+        config.workers_for(&batch)
     );
-    println!(
-        "optimized duration: {:.2} iSWAP pulses",
-        r.optimized_duration
-    );
-    println!("duration reduction: {:.1}%", r.duration_reduction_pct);
-    println!(
-        "per-qubit fidelity improvement: {:.2}%",
-        r.fq_improvement_pct
-    );
-    println!(
-        "total-circuit fidelity improvement: {:.2}%",
-        r.ft_improvement_pct
-    );
+    let report = run_batch(&batch, &config)?;
+    print!("{report}");
+    if let Some(rate) = report.cache_hit_rate() {
+        println!(
+            "the decomposition cache answered {:.1}% of cost queries without recomputation",
+            rate * 100.0
+        );
+    }
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | [`sim`] | exact statevector simulation and Quantum-Volume analysis |
 //! | [`transpiler`] | lattice routing, consolidation, scheduling, fidelity |
 //! | [`core`] | baseline vs parallel-drive cost models, codesign, the full flow |
+//! | [`engine`] | batched multi-threaded transpilation with a decomposition cache |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 pub use paradrive_circuit as circuit;
 pub use paradrive_core as core;
 pub use paradrive_coverage as coverage;
+pub use paradrive_engine as engine;
 pub use paradrive_hamiltonian as hamiltonian;
 pub use paradrive_linalg as linalg;
 pub use paradrive_optimizer as optimizer;
