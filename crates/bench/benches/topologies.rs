@@ -1,0 +1,69 @@
+//! Topology-zoo routing throughput: one engine batch of family-class
+//! workloads per coupling map, so the rows isolate how SWAP-search cost
+//! scales with topology sparsity (clique chips route in O(1) hops, the
+//! ring pays long detours, heavy-hex sits between).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_circuit::benchmarks;
+use paradrive_engine::{run_batch, Batch, EngineConfig};
+use paradrive_transpiler::topology::CouplingMap;
+use std::hint::black_box;
+
+fn zoo() -> Vec<CouplingMap> {
+    vec![
+        CouplingMap::grid(4, 4),
+        CouplingMap::ring(16),
+        CouplingMap::heavy_hex(3),
+        CouplingMap::modular(2, 8, 2).expect("valid modular spec"),
+    ]
+}
+
+/// GHZ + linear VQE + QAOA at 16 qubits — CX/Rzz workloads that fit every
+/// zoo member and skip coverage-stack initialization.
+fn workload(batch: &mut Batch) {
+    batch.push("ghz16", benchmarks::ghz(16));
+    batch.push("vqe16", benchmarks::vqe_linear(16, 2, 3));
+    batch.push("qaoa16", benchmarks::qaoa(16, 1, 3));
+}
+
+fn bench_topology_zoo(c: &mut Criterion) {
+    let config = EngineConfig::default().routing_seeds(4);
+    for map in zoo() {
+        let id = format!("topologies/{}", map.label());
+        let mut batch = Batch::new(map);
+        workload(&mut batch);
+        c.bench_function(&id, |b| {
+            b.iter(|| run_batch(black_box(&batch), &config).unwrap())
+        });
+    }
+}
+
+/// The heterogeneous path itself: all four topologies in one batch, which
+/// is the shape the `sweep` CLI submits.
+fn bench_heterogeneous_batch(c: &mut Criterion) {
+    let config = EngineConfig::default().routing_seeds(4);
+    let maps: Vec<_> = zoo().into_iter().map(std::sync::Arc::new).collect();
+    let mut batch = Batch::with_shared(std::sync::Arc::clone(&maps[0]));
+    for map in &maps {
+        batch.push_on(
+            format!("ghz16@{}", map.label()),
+            benchmarks::ghz(16),
+            std::sync::Arc::clone(map),
+        );
+        batch.push_on(
+            format!("qaoa16@{}", map.label()),
+            benchmarks::qaoa(16, 1, 3),
+            std::sync::Arc::clone(map),
+        );
+    }
+    c.bench_function("topologies/heterogeneous_8job", |b| {
+        b.iter(|| run_batch(black_box(&batch), &config).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topology_zoo, bench_heterogeneous_batch
+}
+criterion_main!(benches);

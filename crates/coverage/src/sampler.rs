@@ -37,7 +37,10 @@ pub fn sample_template_points<R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Result<Vec<WeylPoint>, CoverageError> {
-    let mut pts = Vec::with_capacity(n + 2);
+    // `n` randomized points plus the deterministic seed point; the
+    // parallel-drive branch then extends with the plain template's
+    // (recursively sampled) cloud beyond this hint.
+    let mut pts = Vec::with_capacity(n + 1);
     if spec.parallel_drive {
         for _ in 0..n {
             let params = spec.random_params(rng);
@@ -49,8 +52,10 @@ pub fn sample_template_points<R: Rng + ?Sized>(
         // ε = 0 is a legal parallel-drive setting, so the plain template's
         // cloud is a subset of the PD coverage — sample it too (it reaches
         // corner classes like SWAP that random ε draws almost never hit).
+        // Keep at least one plain draw even for n ≤ 1, or small-n calls
+        // would silently drop the plain subset entirely.
         let plain = spec.without_parallel_drive();
-        pts.extend(sample_template_points(&plain, n / 2, rng)?);
+        pts.extend(sample_template_points(&plain, (n / 2).max(1), rng)?);
     } else {
         let basis = basis_unitary(spec)?;
         for _ in 0..n {
@@ -248,6 +253,28 @@ mod tests {
             pts.iter().any(|p| p.c3 > 0.02),
             "parallel-driven K=1 iSWAP should have volume"
         );
+    }
+
+    #[test]
+    fn small_n_keeps_the_plain_template_subset() {
+        // Regression: the parallel-drive branch used to recurse with
+        // `n / 2`, so `n <= 1` dropped the plain template's own random
+        // draw entirely. The recursion must behave exactly like a direct
+        // plain call with one sample: `n` PD points + the full plain
+        // cloud + the deterministic seed point.
+        for n in [0usize, 1] {
+            let spec = TemplateSpec::iswap_basis(1);
+            let mut rng = StdRng::seed_from_u64(7);
+            let pd = sample_template_points(&spec, n, &mut rng).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let plain =
+                sample_template_points(&spec.without_parallel_drive(), 1, &mut rng).unwrap();
+            assert_eq!(
+                pd.len(),
+                n + plain.len() + 1,
+                "n = {n}: plain-template subset was dropped"
+            );
+        }
     }
 
     #[test]

@@ -1,43 +1,77 @@
 //! Batch submission: [`Job`]s, the [`Batch`] container, and [`EngineConfig`].
+//!
+//! A batch carries a *default* coupling topology plus, optionally, a
+//! per-job override ([`Batch::push_on`]) — one engine run can therefore
+//! fan a whole topology × workload cross-product across the worker pool
+//! while sharing a single decomposition cache (decomposition costs depend
+//! only on the Weyl class, never on the topology, so cache entries are
+//! valid across every map in the batch). Topologies are held behind
+//! [`Arc`] so a sweep that reuses one map across many jobs shares a
+//! single distance matrix.
 
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_circuit::Circuit;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
+use std::sync::Arc;
 
 /// One unit of batch work: a named logical circuit to push through the
-/// route → consolidate → schedule → fidelity pipeline.
+/// route → consolidate → schedule → fidelity pipeline, optionally pinned
+/// to its own coupling topology.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Display name carried into the report.
     pub name: String,
     /// The logical circuit.
     pub circuit: Circuit,
+    /// Per-job topology override (`None` uses the batch default).
+    map: Option<Arc<CouplingMap>>,
 }
 
 impl Job {
-    /// Creates a job.
+    /// Creates a job on the batch's default topology.
     pub fn new(name: impl Into<String>, circuit: Circuit) -> Self {
         Job {
             name: name.into(),
             circuit,
+            map: None,
         }
+    }
+
+    /// Creates a job pinned to its own coupling topology.
+    pub fn on(name: impl Into<String>, circuit: Circuit, map: Arc<CouplingMap>) -> Self {
+        Job {
+            name: name.into(),
+            circuit,
+            map: Some(map),
+        }
+    }
+
+    /// The job's topology override, if any.
+    pub fn map(&self) -> Option<&CouplingMap> {
+        self.map.as_deref()
     }
 }
 
-/// A batch of jobs sharing one coupling topology.
+/// A batch of jobs with a default coupling topology and optional per-job
+/// overrides (a *heterogeneous* batch).
 ///
 /// Submission order is preserved: report entries come back in the order
 /// jobs were pushed, regardless of which worker processed them.
 #[derive(Debug, Clone)]
 pub struct Batch {
-    map: CouplingMap,
+    map: Arc<CouplingMap>,
     jobs: Vec<Job>,
 }
 
 impl Batch {
-    /// Creates an empty batch targeting `map`.
+    /// Creates an empty batch whose default topology is `map`.
     pub fn new(map: CouplingMap) -> Self {
+        Batch::with_shared(Arc::new(map))
+    }
+
+    /// Creates an empty batch around an already-shared topology.
+    pub fn with_shared(map: Arc<CouplingMap>) -> Self {
         Batch {
             map,
             jobs: Vec::new(),
@@ -53,15 +87,35 @@ impl Batch {
         batch
     }
 
-    /// Appends one job.
+    /// Appends one job on the default topology.
     pub fn push(&mut self, name: impl Into<String>, circuit: Circuit) -> &mut Self {
         self.jobs.push(Job::new(name, circuit));
         self
     }
 
-    /// The shared coupling topology.
+    /// Appends one job pinned to its own topology.
+    pub fn push_on(
+        &mut self,
+        name: impl Into<String>,
+        circuit: Circuit,
+        map: Arc<CouplingMap>,
+    ) -> &mut Self {
+        self.jobs.push(Job::on(name, circuit, map));
+        self
+    }
+
+    /// The batch's default coupling topology.
     pub fn map(&self) -> &CouplingMap {
         &self.map
+    }
+
+    /// The effective topology of job `job` (its override, or the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn map_for(&self, job: usize) -> &CouplingMap {
+        self.jobs[job].map().unwrap_or(&self.map)
     }
 
     /// The submitted jobs, in submission order.
@@ -194,6 +248,21 @@ mod tests {
         assert_eq!(b.jobs()[0].name, "a");
         assert_eq!(b.jobs()[1].name, "b");
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_batch_resolves_per_job_maps() {
+        let ring = Arc::new(CouplingMap::ring(8));
+        let mut b = Batch::new(CouplingMap::grid(2, 2));
+        b.push("default", benchmarks::ghz(4)).push_on(
+            "ring",
+            benchmarks::ghz(8),
+            Arc::clone(&ring),
+        );
+        assert_eq!(b.map_for(0).label(), "grid2x2");
+        assert_eq!(b.map_for(1).label(), "ring8");
+        assert!(b.jobs()[0].map().is_none());
+        assert_eq!(b.jobs()[1].map().unwrap().n_qubits(), 8);
     }
 
     #[test]

@@ -170,7 +170,11 @@ impl Shared<'_> {
             let seed = (unit % self.seeds) as u64;
 
             let t0 = Instant::now();
-            let result = route(&self.batch.jobs()[job].circuit, self.batch.map(), seed);
+            let result = route(
+                &self.batch.jobs()[job].circuit,
+                self.batch.map_for(job),
+                seed,
+            );
             self.route_nanos[job].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             *self.routed[unit].lock().expect("routing slot poisoned") = Some(result);
 
@@ -207,6 +211,7 @@ impl Shared<'_> {
         let items = consolidate(&best.circuit)?;
 
         let spec = &self.batch.jobs()[job];
+        let map = self.batch.map_for(job);
         let result = match self.caches {
             Some((bcache, ocache)) => evaluate_consolidated(
                 &spec.name,
@@ -214,7 +219,7 @@ impl Shared<'_> {
                 best.swaps_inserted,
                 &CachedCostModel::new(&self.baseline, bcache),
                 &CachedCostModel::new(&self.optimized, ocache),
-                self.batch.map().n_qubits(),
+                map.n_qubits(),
                 spec.circuit.n_qubits(),
                 self.config.fidelity,
             ),
@@ -224,7 +229,7 @@ impl Shared<'_> {
                 best.swaps_inserted,
                 &self.baseline,
                 &self.optimized,
-                self.batch.map().n_qubits(),
+                map.n_qubits(),
                 spec.circuit.n_qubits(),
                 self.config.fidelity,
             ),
@@ -232,6 +237,7 @@ impl Shared<'_> {
 
         Ok(CircuitReport {
             result,
+            topology: map.label().to_string(),
             routed: self.config.keep_routed.then_some(best.circuit),
             route_time: Duration::from_nanos(self.route_nanos[job].load(Ordering::Relaxed)),
             pipeline_time: t0.elapsed(),
@@ -345,6 +351,34 @@ mod tests {
             stats.hits > stats.misses,
             "repeated classes should mostly hit: {stats:?}"
         );
+    }
+
+    #[test]
+    fn heterogeneous_batch_routes_each_job_on_its_own_map() {
+        use std::sync::Arc;
+        let ring = Arc::new(CouplingMap::ring(10));
+        let hex = Arc::new(CouplingMap::heavy_hex(2));
+        let mut batch = Batch::new(CouplingMap::grid(3, 3));
+        batch.push("ghz-grid", benchmarks::ghz(9));
+        batch.push_on("ghz-ring", benchmarks::ghz(10), Arc::clone(&ring));
+        batch.push_on("vqe-hex", benchmarks::vqe_linear(7, 2, 5), Arc::clone(&hex));
+        batch.push_on("vqe-ring", benchmarks::vqe_linear(10, 2, 5), ring);
+
+        let base = EngineConfig::default().routing_seeds(3).keep_routed(true);
+        let one = run_batch(&batch, &base.threads(1)).unwrap();
+        let four = run_batch(&batch, &base.threads(4)).unwrap();
+        results_identical(&one, &four);
+
+        let labels: Vec<&str> = one.circuits.iter().map(|c| c.topology.as_str()).collect();
+        assert_eq!(labels, ["grid3x3", "ring10", "heavy-hex2", "ring10"]);
+        // Routed circuits are as wide as their own device, not the default.
+        assert_eq!(one.circuits[1].routed.as_ref().unwrap().n_qubits(), 10);
+        assert_eq!(one.circuits[2].routed.as_ref().unwrap().n_qubits(), 7);
+
+        let groups = one.by_topology();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[1].topology, "ring10");
+        assert_eq!(groups[1].circuits, 2);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! fidelity. This crate turns that from a one-circuit-at-a-time loop into
 //! a batch system:
 //!
-//! - [`Batch`] / [`Job`] collect circuits sharing one topology;
+//! - [`Batch`] / [`Job`] collect circuits over a default topology, with
+//!   optional per-job overrides ([`Batch::push_on`]) so one batch can
+//!   span a whole topology × workload cross-product (a *heterogeneous*
+//!   batch — see the `sweep` CLI in `crates/repro`);
 //! - [`run_batch`] fans both circuits *and* the routing seeds inside each
 //!   circuit across a [`std::thread::scope`] worker pool — deterministic
 //!   and bit-for-bit identical to the sequential pipeline at any thread
@@ -18,7 +21,8 @@
 //!   [`WeylKey`](paradrive_weyl::WeylKey) with exact-bit verification,
 //!   and reports hit/miss counters;
 //! - [`EngineReport`] aggregates per-circuit results, timings, cache
-//!   statistics and the batch wall clock.
+//!   statistics and the batch wall clock, with per-topology rollups
+//!   ([`EngineReport::by_topology`]) for heterogeneous batches.
 //!
 //! # Example
 //!
@@ -46,7 +50,7 @@ mod report;
 pub use batch::{Batch, Costing, EngineConfig, Job};
 pub use cache::{CacheStats, CachedCostModel, DecompositionCache};
 pub use engine::run_batch;
-pub use report::{CircuitReport, EngineReport};
+pub use report::{CircuitReport, EngineReport, TopologySummary};
 
 use paradrive_transpiler::TranspileError;
 

@@ -12,6 +12,8 @@ pub struct CircuitReport {
     /// Scheduling/fidelity numbers, identical in layout to the sequential
     /// flow's per-benchmark result.
     pub result: BenchmarkResult,
+    /// Label of the coupling topology the job was routed on.
+    pub topology: String,
     /// The best routed physical circuit (only when
     /// [`crate::EngineConfig::keep_routed`] is set).
     pub routed: Option<Circuit>,
@@ -71,21 +73,62 @@ impl EngineReport {
             .map(|c| c.route_time + c.pipeline_time)
             .sum()
     }
+
+    /// Per-topology aggregates over a heterogeneous batch, grouped by
+    /// topology label in first-seen (submission) order.
+    pub fn by_topology(&self) -> Vec<TopologySummary> {
+        let mut groups: Vec<TopologySummary> = Vec::new();
+        for c in &self.circuits {
+            let entry = match groups.iter_mut().find(|g| g.topology == c.topology) {
+                Some(g) => g,
+                None => {
+                    groups.push(TopologySummary {
+                        topology: c.topology.clone(),
+                        circuits: 0,
+                        total_swaps: 0,
+                        mean_reduction_pct: 0.0,
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            entry.circuits += 1;
+            entry.total_swaps += c.result.swaps;
+            entry.mean_reduction_pct += c.result.duration_reduction_pct;
+        }
+        for g in &mut groups {
+            g.mean_reduction_pct /= g.circuits as f64;
+        }
+        groups
+    }
+}
+
+/// Aggregate outcome for every job sharing one coupling topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Topology label (see `CouplingMap::label`).
+    pub topology: String,
+    /// Number of jobs routed on this topology.
+    pub circuits: usize,
+    /// Total SWAPs inserted across those jobs.
+    pub total_swaps: usize,
+    /// Mean duration reduction over those jobs, percent.
+    pub mean_reduction_pct: f64,
 }
 
 impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
-            "circuit", "swaps", "blocks", "D[base]", "D[opt]", "Δ%", "time"
+            "{:<12} {:<16} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
+            "circuit", "topology", "swaps", "blocks", "D[base]", "D[opt]", "Δ%", "time"
         )?;
         for c in &self.circuits {
             let r = &c.result;
             writeln!(
                 f,
-                "{:<12} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>8.1}ms",
+                "{:<12} {:<16} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>8.1}ms",
                 r.name,
+                c.topology,
                 r.swaps,
                 r.blocks,
                 r.baseline_duration,
@@ -139,12 +182,14 @@ mod tests {
             circuits: vec![
                 CircuitReport {
                     result: result("a", 10.0),
+                    topology: "grid4x4".to_string(),
                     routed: None,
                     route_time: Duration::from_millis(2),
                     pipeline_time: Duration::from_millis(3),
                 },
                 CircuitReport {
                     result: result("b", 20.0),
+                    topology: "ring16".to_string(),
                     routed: None,
                     route_time: Duration::from_millis(1),
                     pipeline_time: Duration::from_millis(4),
@@ -176,10 +221,32 @@ mod tests {
     }
 
     #[test]
+    fn by_topology_groups_in_submission_order() {
+        let mut r = report();
+        r.circuits.push(CircuitReport {
+            result: result("c", 30.0),
+            topology: "grid4x4".to_string(),
+            routed: None,
+            route_time: Duration::from_millis(1),
+            pipeline_time: Duration::from_millis(1),
+        });
+        let groups = r.by_topology();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].topology, "grid4x4");
+        assert_eq!(groups[0].circuits, 2);
+        assert_eq!(groups[0].total_swaps, 4);
+        assert!((groups[0].mean_reduction_pct - 20.0).abs() < 1e-12);
+        assert_eq!(groups[1].topology, "ring16");
+        assert_eq!(groups[1].circuits, 1);
+        assert!((groups[1].mean_reduction_pct - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn display_mentions_cache_and_rows() {
         let text = report().to_string();
         assert!(text.contains("cache: 50 hits / 30 misses"));
         assert!(text.contains("mean reduction 15.0%"));
+        assert!(text.contains("ring16"));
         let mut disabled = report();
         disabled.baseline_cache = None;
         disabled.optimized_cache = None;

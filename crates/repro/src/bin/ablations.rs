@@ -18,7 +18,9 @@ use paradrive_weyl::WeylPoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn ablate_router_lookahead() {
+type AblationResult = Result<(), Box<dyn std::error::Error>>;
+
+fn ablate_router_lookahead() -> AblationResult {
     header("Ablation 1 — router lookahead window vs inserted SWAPs (QFT-16)");
     let map = CouplingMap::grid(4, 4);
     let qft = benchmarks::qft(16);
@@ -34,14 +36,15 @@ fn ablate_router_lookahead() {
                     ..RouterOptions::default()
                 },
             )
-            .expect("routing");
+            .map_err(|e| format!("routing at lookahead {lookahead}, seed {seed}: {e}"))?;
             best = best.min(r.swaps_inserted);
         }
         println!("  lookahead {lookahead:>2}: best-of-5 SWAPs = {best}");
     }
+    Ok(())
 }
 
-fn ablate_pd_segments() {
+fn ablate_pd_segments() -> AblationResult {
     header("Ablation 2 — parallel-drive segments vs CNOT synthesis");
     let mut rng = StdRng::seed_from_u64(17);
     for segments in [1usize, 2, 4, 8] {
@@ -51,7 +54,7 @@ fn ablate_pd_segments() {
             .with_restarts(8)
             .with_tolerance(1e-8)
             .synthesize_to_point(WeylPoint::CNOT, &mut rng)
-            .expect("synthesis");
+            .map_err(|e| format!("synthesis with {segments} segment(s): {e}"))?;
         println!(
             "  {segments} segment(s): converged = {:<5} loss = {:.2e}",
             out.converged, out.loss
@@ -59,14 +62,16 @@ fn ablate_pd_segments() {
     }
     println!("  (CNOT is reachable even with a constant drive; the paper found 4");
     println!("   segments ≈ 250 segments for full *coverage*, where flexibility matters)");
+    Ok(())
 }
 
-fn ablate_schedule_merging() {
+fn ablate_schedule_merging() -> AblationResult {
     header("Ablation 3 — 1Q-layer merging and virtual-Z (QFT-16, optimized flow)");
     let map = CouplingMap::grid(4, 4);
     let routed = route_with_options(&benchmarks::qft(16), &map, 1, RouterOptions::default())
-        .expect("routing");
-    let items = consolidate(&routed.circuit).expect("consolidation");
+        .map_err(|e| format!("routing QFT-16 failed: {e}"))?;
+    let items =
+        consolidate(&routed.circuit).map_err(|e| format!("consolidating QFT-16 failed: {e}"))?;
     let model = ParallelDriveRules::new(0.25);
     let variants = [
         ("merge + virtual-Z (paper flow)", true, true),
@@ -86,9 +91,10 @@ fn ablate_schedule_merging() {
         );
         println!("  {label:<30} duration = {:.2}", s.duration);
     }
+    Ok(())
 }
 
-fn ablate_exterior_queries() {
+fn ablate_exterior_queries() -> AblationResult {
     header("Ablation 4 — exterior-point optimization vs K-table accuracy");
     let mut rng = StdRng::seed_from_u64(23);
     for (label, restarts) in [
@@ -111,7 +117,7 @@ fn ablate_exterior_queries() {
             },
             &mut rng,
         )
-        .expect("stack");
+        .map_err(|e| format!("coverage stack ({label}) failed: {e}"))?;
         println!(
             "  {label:<24} K[CNOT] = {:?}  K[SWAP] = {:?}",
             stack.min_k(WeylPoint::CNOT, CONTAINMENT_TOL),
@@ -120,11 +126,13 @@ fn ablate_exterior_queries() {
     }
     println!("  (random sampling alone misses chamber vertices; Algorithm 2's exterior");
     println!("   optimization — or the Clifford seed patterns — pins them)");
+    Ok(())
 }
 
-fn main() {
-    ablate_router_lookahead();
-    ablate_pd_segments();
-    ablate_schedule_merging();
-    ablate_exterior_queries();
+fn main() -> AblationResult {
+    ablate_router_lookahead()?;
+    ablate_pd_segments()?;
+    ablate_schedule_merging()?;
+    ablate_exterior_queries()?;
+    Ok(())
 }

@@ -21,7 +21,7 @@ fn print_traj(label: &str, t: &Trajectory) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 1 — Cartan trajectories, traditional vs parallel-driven");
 
     // Traditional: a straight conversion ray I → iSWAP (each √iSWAP leg of
@@ -29,7 +29,8 @@ fn main() {
     let plain: Vec<_> = (0..=8)
         .map(|k| ConversionGain::new(FRAC_PI_2, 0.0).unitary(k as f64 / 8.0))
         .collect();
-    let t_plain = Trajectory::from_unitaries(&plain).expect("trajectory");
+    let t_plain = Trajectory::from_unitaries(&plain)
+        .map_err(|e| format!("traditional trajectory failed: {e}"))?;
     print_traj("traditional iSWAP pulse (straight leg)", &t_plain);
 
     // Parallel-driven: synthesize ε(t) so one iSWAP pulse lands on CNOT,
@@ -40,24 +41,25 @@ fn main() {
         .with_restarts(10)
         .with_tolerance(1e-8)
         .synthesize_to_point(WeylPoint::CNOT, &mut rng)
-        .expect("synthesis");
-    assert!(
-        out.converged,
-        "synthesis did not converge: loss {}",
-        out.loss
-    );
+        .map_err(|e| format!("CNOT synthesis failed: {e}"))?;
+    if !out.converged {
+        return Err(format!("synthesis did not converge: loss {}", out.loss).into());
+    }
     let segs: Vec<Segment> = (0..4)
         .map(|i| Segment::new(out.params[2 + i], out.params[6 + i]))
         .collect();
-    let base =
-        ConversionGain::try_new(FRAC_PI_2, 0.0, out.params[0], out.params[1]).expect("valid drive");
-    let pulse = ParallelDrive::new(base, segs, 1.0).expect("valid pulse");
-    let t_pd = Trajectory::from_unitaries(&pulse.accumulate()).expect("trajectory");
+    let base = ConversionGain::try_new(FRAC_PI_2, 0.0, out.params[0], out.params[1])
+        .map_err(|e| format!("synthesized drive is invalid: {e}"))?;
+    let pulse = ParallelDrive::new(base, segs, 1.0)
+        .map_err(|e| format!("synthesized pulse is invalid: {e}"))?;
+    let t_pd = Trajectory::from_unitaries(&pulse.accumulate())
+        .map_err(|e| format!("parallel-driven trajectory failed: {e}"))?;
     print_traj("parallel-driven iSWAP pulse → CNOT (curved)", &t_pd);
     println!(
         "\nend point {} (target CNOT {}), loss {:.2e}",
-        t_pd.end().unwrap(),
+        t_pd.end().ok_or("parallel-driven trajectory is empty")?,
         WeylPoint::CNOT,
         out.loss
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::f64::consts::FRAC_PI_2;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 12 — K=2 n√iSWAP ⊇ m√CNOT (m = n/2)");
     let mut rng = StdRng::seed_from_u64(9);
     for n in [2u32, 4, 8] {
@@ -21,7 +21,7 @@ fn main() {
             .with_restarts(8)
             .with_tolerance(1e-6)
             .synthesize_to_point(target, &mut rng)
-            .expect("synthesis");
+            .map_err(|e| format!("synthesis for n = {n} failed: {e}"))?;
         let reachable = out.converged || out.point.chamber_dist(target) < 0.02;
         println!(
             "n = {n}: K=2 iSWAP^(1/{n}) → CNOT^(1/{m})  reachable = {reachable}  (loss {:.1e}, reached {})",
@@ -29,4 +29,5 @@ fn main() {
         );
     }
     println!("\npaper anchor: all three nestings hold — the 2Q time invariant is preserved.");
+    Ok(())
 }

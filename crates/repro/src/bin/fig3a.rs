@@ -7,7 +7,7 @@ use paradrive_repro::header;
 use paradrive_weyl::magic::coordinates;
 use std::f64::consts::FRAC_PI_2;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 3a — Native conversion/gain gate set");
     println!("theta_c/pi  theta_g/pi     c1/pi     c2/pi     c3/pi   (tc+tg)/(pi/2)");
     let steps = 9;
@@ -17,7 +17,8 @@ fn main() {
             let tc = FRAC_PI_2 * i as f64 / steps as f64;
             let tg = FRAC_PI_2 * j as f64 / steps as f64;
             let u = ConversionGain::new(tc, tg).unitary(1.0);
-            let p = coordinates(&u).expect("drive unitary has coordinates");
+            let p = coordinates(&u)
+                .map_err(|e| format!("coordinates at (tc, tg) = ({tc:.3}, {tg:.3}): {e}"))?;
             if p.c3.abs() > 1e-7 {
                 off_plane += 1;
             }
@@ -36,4 +37,5 @@ fn main() {
     }
     println!("\npoints leaving the base plane: {off_plane} (paper: 0 — the native set is the chamber floor)");
     println!("endpoints: (π/2, 0) → iSWAP tip; (π/4, π/4) → CNOT baseline point (Eq. 4).");
+    Ok(())
 }

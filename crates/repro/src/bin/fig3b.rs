@@ -10,13 +10,15 @@ use paradrive_transpiler::routing::route_best_of;
 use paradrive_transpiler::topology::CouplingMap;
 use std::collections::BTreeMap;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 3b — Consolidated 2Q class frequencies, 16q suite on 4x4");
     let map = CouplingMap::grid(4, 4);
     let mut totals: BTreeMap<String, usize> = BTreeMap::new();
     for b in standard_suite(7) {
-        let routed = route_best_of(&b.circuit, &map, 4).expect("routing");
-        let items = consolidate(&routed.circuit).expect("consolidation");
+        let routed = route_best_of(&b.circuit, &map, 4)
+            .map_err(|e| format!("routing {} failed: {e}", b.name))?;
+        let items = consolidate(&routed.circuit)
+            .map_err(|e| format!("consolidating {} failed: {e}", b.name))?;
         let hist = class_histogram(&items);
         println!("\n[{}]  swaps inserted: {}", b.name, routed.swaps_inserted);
         for (label, count) in &hist {
@@ -30,6 +32,7 @@ fn main() {
     for (label, count) in &rows {
         println!("  {label:<14} {count}");
     }
-    let lambda = fit_lambda_over_suite(7, 4).expect("lambda fit");
+    let lambda = fit_lambda_over_suite(7, 4).map_err(|e| format!("lambda fit failed: {e}"))?;
     println!("\nλ = CNOT/(CNOT+SWAP) = {lambda:.3}   (paper: 731/(731+828) ≈ 0.47)");
+    Ok(())
 }

@@ -7,7 +7,7 @@ use paradrive_speedlimit::{Characterized, SpeedLimit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 3c — SNAIL speed-limit characterization (simulated)");
     let truth = Characterized::snail();
     let model = MonitorQubitModel::new(truth.clone(), 0.02, 0.01);
@@ -28,7 +28,9 @@ fn main() {
     println!("  {}", "-".repeat(nx));
     println!("  gc →  (0 .. {:.3})", grid.gc_max());
 
-    let fitted = grid.fit_boundary().expect("boundary fit");
+    let fitted = grid
+        .fit_boundary()
+        .map_err(|e| format!("boundary fit failed: {e}"))?;
     println!("\nfitted vs ground-truth boundary (gc, gg_fit, gg_truth):");
     for i in 1..8 {
         let gc = truth.max_gc() * i as f64 / 8.0;
@@ -40,4 +42,5 @@ fn main() {
         );
     }
     println!("\npaper anchors: gc driveable much harder than gg; nonlinear boundary.");
+    Ok(())
 }

@@ -4,9 +4,9 @@ use paradrive_core::codesign::fig5_summary;
 use paradrive_core::scoring::paper_lambda;
 use paradrive_repro::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 5 — Best basis per metric, SLF and D[1Q]");
-    let cells = fig5_summary(paper_lambda()).expect("fig5 summary");
+    let cells = fig5_summary(paper_lambda()).map_err(|e| format!("fig5 summary failed: {e}"))?;
     let mut current = String::new();
     for c in cells {
         let key = format!("{} / D[1Q]={}", c.slf, c.d_1q);
@@ -20,4 +20,5 @@ fn main() {
         "\nPaper anchors: with appreciable 1Q cost sqrt_iSWAP wins Haar/W on the linear SLF; \
          the SNAIL-characterized boundary pins all metrics to the iSWAP family."
     );
+    Ok(())
 }

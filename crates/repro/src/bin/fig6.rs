@@ -6,13 +6,13 @@ use paradrive_repro::header;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 6 — E[D[Haar]] of fractional basis iSWAP^(1/x)");
     let mut rng = StdRng::seed_from_u64(6);
     let fractions = [1.0, 0.5, 1.0 / 3.0, 0.25, 1.0 / 6.0, 0.125];
     let d1qs = [0.0, 0.1, 0.25];
-    let curve =
-        fractional_iswap_curve(&fractions, &d1qs, 700, 300, &mut rng).expect("fractional curve");
+    let curve = fractional_iswap_curve(&fractions, &d1qs, 700, 300, &mut rng)
+        .map_err(|e| format!("fractional curve failed: {e}"))?;
 
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>12}",
@@ -33,4 +33,5 @@ fn main() {
     println!(
         "\npaper anchor: at D[1Q]=0 smaller fractions win; at 0.1–0.25 the optimum is √iSWAP."
     );
+    Ok(())
 }

@@ -8,11 +8,12 @@ use paradrive_repro::header;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 7 — Parallel-driven K=1 native gate set");
     let mut rng = StdRng::seed_from_u64(11);
     let spec = TemplateSpec::iswap_basis(1);
-    let pts = sample_template_points(&spec, 3000, &mut rng).expect("sampling");
+    let pts = sample_template_points(&spec, 3000, &mut rng)
+        .map_err(|e| format!("PD template sampling failed: {e}"))?;
     let max_c3 = pts.iter().map(|p| p.c3).fold(0.0_f64, f64::max);
     let off_plane = pts.iter().filter(|p| p.c3 > 1e-3).count();
     let set = CoverageSet::from_points(&pts);
@@ -28,11 +29,13 @@ fn main() {
 
     // Contrast: the plain K = 1 set.
     let plain = TemplateSpec::iswap_basis(1).without_parallel_drive();
-    let ppts = sample_template_points(&plain, 200, &mut rng).expect("sampling");
+    let ppts = sample_template_points(&plain, 200, &mut rng)
+        .map_err(|e| format!("plain template sampling failed: {e}"))?;
     let pset = CoverageSet::from_points(&ppts);
     println!(
         "plain K=1 iSWAP set: affine dim {:?}, volume fraction {:.4}",
         pset.affine_dim(),
         pset.chamber_fraction()
     );
+    Ok(())
 }

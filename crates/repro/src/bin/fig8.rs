@@ -6,7 +6,7 @@ use paradrive_weyl::WeylPoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Fig. 8 — Template synthesis: iSWAP (+ parallel drive) → CNOT");
     let spec = TemplateSpec::iswap_basis(1);
     let mut rng = StdRng::seed_from_u64(5);
@@ -14,7 +14,7 @@ fn main() {
         .with_restarts(10)
         .with_tolerance(1e-10)
         .synthesize_to_point(WeylPoint::CNOT, &mut rng)
-        .expect("synthesis");
+        .map_err(|e| format!("CNOT synthesis failed: {e}"))?;
 
     println!("converged: {}", out.converged);
     println!(
@@ -32,6 +32,9 @@ fn main() {
     for (i, loss) in h.iter().enumerate().step_by(stride) {
         println!("  step {i:>5}: {loss:.3e}");
     }
-    println!("  step {:>5}: {:.3e}", h.len() - 1, h.last().unwrap());
+    if let Some(last) = h.last() {
+        println!("  step {:>5}: {last:.3e}", h.len() - 1);
+    }
     println!("\nfree parameters: φc, φg and 4-segment ε1(t), ε2(t) (10 total).");
+    Ok(())
 }

@@ -1,0 +1,124 @@
+//! `sweep` CLI: run the topology × benchmark × costing × seed
+//! cross-product through the batched multi-threaded engine and print a
+//! per-cell report with per-topology rollups.
+//!
+//! ```text
+//! cargo run --release -p paradrive-repro --bin sweep -- \
+//!     [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] [--no-cache] \
+//!     [--topologies T1,T2,..] [--benchmarks B1,B2,..] [--costings hull,synth] \
+//!     [--timings]
+//! ```
+//!
+//! Topology names follow `grid<R>x<C>`, `line<N>`, `ring<N>`,
+//! `heavyhex<D>`, `modular<CHIPS>x<SIZE>x<LINKS>`. The default sweep is
+//! four zoo topologies × {GHZ, VQE_L, QFT, QAOA} × both costing
+//! disciplines; `--smoke` shrinks that to a seconds-long CI check.
+//!
+//! The report is a pure function of the sweep spec — bit-identical at any
+//! `--threads` setting. Wall-clock timings are printed only with
+//! `--timings`, kept apart so the deterministic report stays comparable
+//! across machines and thread counts.
+
+use paradrive_engine::Costing;
+use paradrive_repro::sweep::{run_sweep, SweepSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
+     [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] [--timings]";
+
+fn parse_args() -> Result<(SweepSpec, bool), String> {
+    let mut spec = SweepSpec::full();
+    let mut timings = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        spec = SweepSpec::smoke();
+    }
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => {} // handled above so later flags can override it
+            "--timings" => timings = true,
+            "--no-cache" => spec.cache = false,
+            "--threads" => {
+                spec.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seeds" => {
+                spec.routing_seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--suite-seeds" => {
+                spec.suite_seeds = value("--suite-seeds")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--suite-seeds: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--topologies" => {
+                spec.topologies = value("--topologies")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--benchmarks" => {
+                spec.benchmarks = value("--benchmarks")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--costings" => {
+                spec.costings = value("--costings")?
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "hull" => Ok(Costing::Hull),
+                        "synth" => Ok(Costing::Synthesized),
+                        other => Err(format!("--costings: unknown discipline `{other}`")),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            flag => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+        }
+    }
+    Ok((spec, timings))
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (spec, timings) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sweep: {} topologies x {} benchmarks x {} costings x {} suite seeds, best-of-{} routing",
+        spec.topologies.len(),
+        spec.benchmarks.len(),
+        spec.costings.len(),
+        spec.suite_seeds.len(),
+        spec.routing_seeds,
+    );
+    match run_sweep(&spec) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if timings {
+                print!("{}", outcome.render_timings());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("sweep failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -9,7 +9,7 @@ use paradrive_repro::{compare, header};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table I / Fig. 4 — Decomposition gate counts (K), plain templates");
     let mut rng = StdRng::seed_from_u64(2023);
     let haar = paradrive_weyl::haar::sample_points(600, &mut rng);
@@ -17,7 +17,7 @@ fn main() {
 
     for basis in paper_bases() {
         let angles = paradrive_hamiltonian::angles_for_base_point(basis.point)
-            .expect("paper bases are base-plane gates");
+            .map_err(|e| format!("basis {} is not a base-plane gate: {e}", basis.name))?;
         let stack = build_stack(
             &basis.name,
             basis.point,
@@ -35,7 +35,7 @@ fn main() {
             },
             &mut rng,
         )
-        .expect("coverage stack");
+        .map_err(|e| format!("coverage stack for {} failed: {e}", basis.name))?;
 
         let s = k_scores(&stack, &haar, PAPER_LAMBDA);
         println!("\n[{}]  (built {} K-sets)", basis.name, stack.max_k());
@@ -50,7 +50,7 @@ fn main() {
         let (_, kc_ref, ks_ref, e_ref, kw_ref) = *reference
             .iter()
             .find(|(n, ..)| *n == basis.name)
-            .expect("reference row");
+            .ok_or_else(|| format!("no paper reference row for basis {}", basis.name))?;
         compare(
             &format!("{} K[CNOT]", basis.name),
             kc_ref as f64,
@@ -64,4 +64,5 @@ fn main() {
         compare(&format!("{} E[K[Haar]]", basis.name), e_ref, s.e_k_haar);
         compare(&format!("{} K[W(.47)]", basis.name), kw_ref, s.k_w);
     }
+    Ok(())
 }

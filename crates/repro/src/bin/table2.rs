@@ -4,7 +4,7 @@ use paradrive_core::scoring::{duration_table, paper_lambda};
 use paradrive_repro::{fmt, header, row};
 use paradrive_speedlimit::StandardSlf;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table II — Decomposition Duration Efficiency (D[1Q]=0)");
     for slf in StandardSlf::all() {
         println!("\n[{} speed limit]", slf.as_slf().name());
@@ -16,8 +16,8 @@ fn main() {
             "E[D[Haar]]".into(),
             "D[W(.47)]".into(),
         ]);
-        let rows =
-            duration_table(slf.as_slf(), 0.0, paper_lambda()).expect("duration table construction");
+        let rows = duration_table(slf.as_slf(), 0.0, paper_lambda())
+            .map_err(|e| format!("duration table for {} failed: {e}", slf.as_slf().name()))?;
         for r in rows {
             row(&[
                 r.basis.clone(),
@@ -33,4 +33,5 @@ fn main() {
         "\nPaper anchors: linear sqrt_iSWAP E[D[Haar]] ≈ 1.05–1.11; squared sqrt_B 0.99; \
          SNAIL CNOT D[SWAP] 5.35."
     );
+    Ok(())
 }

@@ -4,10 +4,11 @@ use paradrive_core::scoring::{duration_table, paper_lambda};
 use paradrive_repro::{compare, fmt, header, row};
 use paradrive_speedlimit::Linear;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table III — Duration Efficiency, D[1Q]=0.25, Linear SLF");
     let slf = Linear::normalized();
-    let rows = duration_table(&slf, 0.25, paper_lambda()).expect("duration table");
+    let rows = duration_table(&slf, 0.25, paper_lambda())
+        .map_err(|e| format!("duration table failed: {e}"))?;
     row(&[
         "basis".into(),
         "D[CNOT]".into(),
@@ -34,10 +35,14 @@ fn main() {
         ("sqrt_B", 1.75, 3.25, 2.13, 2.55),
     ];
     for (name, pc, ps, ph, pw) in paper {
-        let r = rows.iter().find(|r| r.basis == name).unwrap();
+        let r = rows
+            .iter()
+            .find(|r| r.basis == name)
+            .ok_or_else(|| format!("basis `{name}` missing from the duration table"))?;
         compare(&format!("{name} D[CNOT]"), pc, r.d_cnot);
         compare(&format!("{name} D[SWAP]"), ps, r.d_swap);
         compare(&format!("{name} E[D[Haar]]"), ph, r.e_d_haar);
         compare(&format!("{name} D[W]"), pw, r.d_w);
     }
+    Ok(())
 }

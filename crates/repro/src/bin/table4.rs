@@ -8,7 +8,7 @@ use paradrive_repro::{compare, header};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table IV / Fig. 9 — Parallel-drive extended gate counts (K')");
     let mut rng = StdRng::seed_from_u64(31415);
     let haar = paradrive_weyl::haar::sample_points(400, &mut rng);
@@ -16,7 +16,7 @@ fn main() {
 
     for basis in paper_bases() {
         let angles = paradrive_hamiltonian::angles_for_base_point(basis.point)
-            .expect("paper bases are base-plane gates");
+            .map_err(|e| format!("basis {} is not a base-plane gate: {e}", basis.name))?;
         let stack = build_stack(
             &basis.name,
             basis.point,
@@ -29,7 +29,7 @@ fn main() {
             },
             &mut rng,
         )
-        .expect("coverage stack");
+        .map_err(|e| format!("coverage stack for {} failed: {e}", basis.name))?;
 
         let s = k_scores(&stack, &haar, PAPER_LAMBDA);
         println!("\n[{} + parallel drive]", basis.name);
@@ -43,7 +43,7 @@ fn main() {
         let (_, kc_ref, ks_ref, e_ref, kw_ref) = *reference
             .iter()
             .find(|(n, ..)| *n == basis.name)
-            .expect("reference row");
+            .ok_or_else(|| format!("no paper reference row for basis {}", basis.name))?;
         compare(
             &format!("{} K'[CNOT]", basis.name),
             kc_ref as f64,
@@ -58,4 +58,5 @@ fn main() {
         compare(&format!("{} K'[W(.47)]", basis.name), kw_ref, s.k_w);
     }
     println!("\nNote: K' sets are supersets of the plain sets; K=1 gains volume (Fig. 9 red).");
+    Ok(())
 }

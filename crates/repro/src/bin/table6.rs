@@ -4,7 +4,7 @@ use paradrive_core::flow::gate_infidelities;
 use paradrive_repro::{compare, header};
 use paradrive_transpiler::fidelity::FidelityModel;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table VI — Gate infidelities, D[1Q]=0.25, Linear SLF");
     let rows = gate_infidelities(0.25, FidelityModel::paper());
     println!(
@@ -25,8 +25,12 @@ fn main() {
         ("W(0.47)", 0.0043, 0.0038),
     ];
     for (name, pb, po) in paper {
-        let r = rows.iter().find(|r| r.target == name).unwrap();
+        let r = rows
+            .iter()
+            .find(|r| r.target == name)
+            .ok_or_else(|| format!("target `{name}` missing from the infidelity rows"))?;
         compare(&format!("{name} baseline"), pb, r.baseline);
         compare(&format!("{name} optimized"), po, r.optimized);
     }
+    Ok(())
 }

@@ -4,9 +4,9 @@
 use paradrive_core::flow::{average_reduction_pct, run_suite};
 use paradrive_repro::header;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table VII — Transpilation results, D[1Q]=0.25, Linear SLF");
-    let results = run_suite(7, 10, 0.25).expect("suite run");
+    let results = run_suite(7, 10, 0.25).map_err(|e| format!("suite run failed: {e}"))?;
     println!(
         "{:<12} {:>9} {:>11} {:>11} {:>10} {:>8} {:>9}",
         "benchmark", "swaps", "baseline", "optimized", "dur. red%", "FQ imp%", "FT imp%"
@@ -29,4 +29,5 @@ fn main() {
     );
     println!("paper per-benchmark reductions: QV 11.2, VQE_L 16.5, GHZ 15.0, HLF 13.9,");
     println!("  QFT 19.5, Adder 17.6, QAOA 25.3, VQE_F 14.0, Multiplier 27.6");
+    Ok(())
 }

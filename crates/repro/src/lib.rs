@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!();

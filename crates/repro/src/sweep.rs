@@ -1,0 +1,457 @@
+//! Scenario sweeps: the topology × benchmark × costing × seed
+//! cross-product, run as one heterogeneous engine batch per costing.
+//!
+//! The paper's headline claims are topology-sensitive — sparse coupling
+//! maps insert more routing SWAPs, and every SWAP is a 2Q block the
+//! parallel-drive rules discount — so the sweep drives the whole
+//! [`topology zoo`](paradrive_transpiler::topology) through the batched
+//! engine and reports per-cell routing, duration and fidelity numbers
+//! plus per-topology rollups and cache counters.
+//!
+//! Everything in [`SweepOutcome::render`] is a pure function of the
+//! [`SweepSpec`]: wall-clock timings are kept out of the rendered report
+//! (ask [`SweepOutcome::render_timings`] for them), so the report is
+//! bit-identical at any `threads` setting — asserted by
+//! `tests/sweep_determinism.rs`.
+
+use paradrive_circuit::benchmarks::standard_suite;
+use paradrive_engine::{run_batch, Batch, CacheStats, Costing, EngineConfig, TopologySummary};
+use paradrive_transpiler::topology::CouplingMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A sweep configuration: which cross-product to run and how.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Topology names, parsed by [`parse_topology`].
+    pub topologies: Vec<String>,
+    /// Benchmark names from the paper's Table VII suite.
+    pub benchmarks: Vec<String>,
+    /// Costing disciplines to sweep (one engine run each).
+    pub costings: Vec<Costing>,
+    /// Workload seeds (one `standard_suite` instantiation each).
+    pub suite_seeds: Vec<u64>,
+    /// Best-of-N routing seeds per circuit.
+    pub routing_seeds: u64,
+    /// Worker threads (`0` = all cores). Never affects the report.
+    pub threads: usize,
+    /// Decomposition cache on/off.
+    pub cache: bool,
+}
+
+impl SweepSpec {
+    /// The default full sweep: four zoo topologies × four benchmarks ×
+    /// both costing disciplines.
+    pub fn full() -> Self {
+        SweepSpec {
+            topologies: ["grid4x4", "ring16", "heavyhex3", "modular2x8x2"]
+                .map(String::from)
+                .to_vec(),
+            benchmarks: ["GHZ", "VQE_L", "QFT", "QAOA"].map(String::from).to_vec(),
+            costings: vec![Costing::Hull, Costing::Synthesized],
+            suite_seeds: vec![7],
+            routing_seeds: 10,
+            threads: 0,
+            cache: true,
+        }
+    }
+
+    /// A tiny cross-product for CI smoke runs: three topologies × two
+    /// family-class benchmarks × hull costing.
+    pub fn smoke() -> Self {
+        SweepSpec {
+            topologies: ["grid4x4", "ring16", "modular2x8x2"]
+                .map(String::from)
+                .to_vec(),
+            benchmarks: ["GHZ", "VQE_L"].map(String::from).to_vec(),
+            costings: vec![Costing::Hull],
+            suite_seeds: vec![7],
+            routing_seeds: 2,
+            threads: 0,
+            cache: true,
+        }
+    }
+}
+
+/// Parses a topology name into a coupling map.
+///
+/// Grammar (case-insensitive, `-`/`_` ignored): `grid<R>x<C>`,
+/// `line<N>`, `ring<N>`, `heavyhex<D>`, `modular<CHIPS>x<SIZE>x<LINKS>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names, malformed
+/// parameters, or parameters the constructors reject.
+pub fn parse_topology(name: &str) -> Result<CouplingMap, String> {
+    let flat: String = name
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let dims = |s: &str| -> Result<Vec<usize>, String> {
+        s.split('x')
+            .map(|d| d.parse::<usize>().map_err(|_| bad_dims(name)))
+            .collect()
+    };
+    fn bad_dims(name: &str) -> String {
+        format!("malformed topology dimensions in `{name}`")
+    }
+    let positive =
+        |v: usize| -> Result<usize, String> { (v > 0).then_some(v).ok_or_else(|| bad_dims(name)) };
+    if let Some(rest) = flat.strip_prefix("grid") {
+        let d = dims(rest)?;
+        let [rows, cols] = d[..] else {
+            return Err(bad_dims(name));
+        };
+        return Ok(CouplingMap::grid(positive(rows)?, positive(cols)?));
+    }
+    if let Some(rest) = flat.strip_prefix("line") {
+        let n: usize = rest.parse().map_err(|_| bad_dims(name))?;
+        return Ok(CouplingMap::line(positive(n)?));
+    }
+    if let Some(rest) = flat.strip_prefix("ring") {
+        let n: usize = rest.parse().map_err(|_| bad_dims(name))?;
+        return Ok(CouplingMap::ring(positive(n)?));
+    }
+    if let Some(rest) = flat.strip_prefix("heavyhex") {
+        let d: usize = rest.parse().map_err(|_| bad_dims(name))?;
+        return Ok(CouplingMap::heavy_hex(positive(d)?));
+    }
+    if let Some(rest) = flat.strip_prefix("modular") {
+        let d = dims(rest)?;
+        let [chips, size, links] = d[..] else {
+            return Err(bad_dims(name));
+        };
+        return CouplingMap::modular(chips, size, links).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "unknown topology `{name}` (expected grid<R>x<C>, line<N>, ring<N>, \
+         heavyhex<D>, or modular<CHIPS>x<SIZE>x<LINKS>)"
+    ))
+}
+
+/// One cell of the cross-product.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Topology label.
+    pub topology: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Costing discipline label (`hull` / `synth`).
+    pub costing: &'static str,
+    /// Workload seed the suite was instantiated with.
+    pub suite_seed: u64,
+    /// Routing SWAPs inserted (best of N seeds).
+    pub swaps: usize,
+    /// Depth of the routed physical circuit.
+    pub depth: usize,
+    /// Consolidated 2Q blocks.
+    pub blocks: usize,
+    /// Baseline circuit duration, normalized pulses.
+    pub baseline_duration: f64,
+    /// Optimized (parallel-drive) duration.
+    pub optimized_duration: f64,
+    /// Relative duration reduction, percent.
+    pub reduction_pct: f64,
+    /// Total-fidelity improvement, percent.
+    pub ft_improvement_pct: f64,
+    /// Per-cell wall time (routing + pipeline) — timing-only, never part
+    /// of the deterministic report.
+    pub wall: Duration,
+}
+
+/// The aggregate outcome of one engine run (one costing discipline).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Costing discipline label.
+    pub costing: &'static str,
+    /// Worker threads the run used (timing-only).
+    pub threads: usize,
+    /// Batch wall clock (timing-only).
+    pub wall_clock: Duration,
+    /// Combined decomposition-cache counters, if caching was on.
+    pub cache: Option<CacheStats>,
+    /// Per-topology rollups in submission order.
+    pub by_topology: Vec<TopologySummary>,
+}
+
+/// Everything a sweep produced: per-cell rows plus per-run aggregates.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// All cells, grouped by costing then topology then benchmark.
+    pub cells: Vec<SweepCell>,
+    /// One entry per costing discipline.
+    pub runs: Vec<SweepRun>,
+}
+
+fn costing_label(c: Costing) -> &'static str {
+    match c {
+        Costing::Hull => "hull",
+        Costing::Synthesized => "synth",
+    }
+}
+
+/// Runs the cross-product described by `spec` — one heterogeneous engine
+/// batch per costing discipline, sharing each topology's distance matrix
+/// across all of its cells.
+///
+/// # Errors
+///
+/// Returns a message for unknown topology/benchmark names and propagates
+/// engine failures (e.g. a benchmark wider than a topology).
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
+    if spec.topologies.is_empty()
+        || spec.benchmarks.is_empty()
+        || spec.costings.is_empty()
+        || spec.suite_seeds.is_empty()
+    {
+        return Err("sweep needs at least one topology, benchmark, costing and suite seed".into());
+    }
+    let maps: Vec<Arc<CouplingMap>> = spec
+        .topologies
+        .iter()
+        .map(|name| parse_topology(name).map(Arc::new))
+        .collect::<Result<_, _>>()?;
+
+    // Instantiate each workload seed once; clone circuits per topology.
+    let mut picked: Vec<(u64, Vec<(String, paradrive_circuit::Circuit)>)> = Vec::new();
+    for &seed in &spec.suite_seeds {
+        let suite = standard_suite(seed);
+        let mut rows = Vec::new();
+        for want in &spec.benchmarks {
+            let b = suite
+                .iter()
+                .find(|b| b.name.eq_ignore_ascii_case(want))
+                .ok_or_else(|| {
+                    let known: Vec<&str> = suite.iter().map(|b| b.name).collect();
+                    format!("unknown benchmark `{want}` (suite: {})", known.join(", "))
+                })?;
+            rows.push((b.name.to_string(), b.circuit.clone()));
+        }
+        picked.push((seed, rows));
+    }
+
+    // The batch is costing-independent; build it (and the per-cell
+    // metadata) once and rerun it per discipline.
+    let mut batch = Batch::with_shared(Arc::clone(&maps[0]));
+    let mut meta: Vec<(String, String, u64)> = Vec::new();
+    for map in &maps {
+        for (seed, rows) in &picked {
+            for (name, circuit) in rows {
+                batch.push_on(name.clone(), circuit.clone(), Arc::clone(map));
+                meta.push((map.label().to_string(), name.clone(), *seed));
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    let mut runs = Vec::new();
+    // Each costing is a full engine run, so best-of-N routing repeats per
+    // discipline; reusing routed circuits across costings would need a
+    // pre-routed entry point on the engine, which isn't worth it for a
+    // two-element costing axis (routing is dwarfed by the one-time
+    // coverage-stack / synthesis work on the heavy workloads).
+    for &costing in &spec.costings {
+        let config = EngineConfig::default()
+            .threads(spec.threads)
+            .routing_seeds(spec.routing_seeds)
+            .cache(spec.cache)
+            .costing(costing)
+            .keep_routed(true);
+        let report = run_batch(&batch, &config).map_err(|e| e.to_string())?;
+        for (c, (topology, benchmark, suite_seed)) in report.circuits.iter().zip(meta.clone()) {
+            let r = &c.result;
+            cells.push(SweepCell {
+                topology,
+                benchmark,
+                costing: costing_label(costing),
+                suite_seed,
+                swaps: r.swaps,
+                depth: c.routed.as_ref().map_or(0, |c| c.depth()),
+                blocks: r.blocks,
+                baseline_duration: r.baseline_duration,
+                optimized_duration: r.optimized_duration,
+                reduction_pct: r.duration_reduction_pct,
+                ft_improvement_pct: r.ft_improvement_pct,
+                wall: c.route_time + c.pipeline_time,
+            });
+        }
+        runs.push(SweepRun {
+            costing: costing_label(costing),
+            threads: report.threads,
+            wall_clock: report.wall_clock,
+            cache: report.cache_stats(),
+            by_topology: report.by_topology(),
+        });
+    }
+    Ok(SweepOutcome { cells, runs })
+}
+
+impl SweepOutcome {
+    /// The deterministic report: per-cell rows, per-topology rollups and
+    /// cache counters, with no wall-clock content — bit-identical at any
+    /// thread count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for run in &self.runs {
+            let _ = writeln!(out, "== sweep ({} costing) ==", run.costing);
+            let _ = writeln!(
+                out,
+                "{:<16} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
+                "topology",
+                "benchmark",
+                "seed",
+                "swaps",
+                "depth",
+                "blocks",
+                "D[base]",
+                "D[opt]",
+                "Δ%",
+                "FT imp%"
+            );
+            for c in self.cells.iter().filter(|c| c.costing == run.costing) {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>9.2}",
+                    c.topology,
+                    c.benchmark,
+                    c.suite_seed,
+                    c.swaps,
+                    c.depth,
+                    c.blocks,
+                    c.baseline_duration,
+                    c.optimized_duration,
+                    c.reduction_pct,
+                    c.ft_improvement_pct,
+                );
+            }
+            let _ = writeln!(out, "by topology:");
+            for g in &run.by_topology {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {} cells, {} swaps, mean Δ {:.1}%",
+                    g.topology, g.circuits, g.total_swaps, g.mean_reduction_pct
+                );
+            }
+            match run.cache {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+                        s.hits,
+                        s.misses,
+                        s.hit_rate().unwrap_or(0.0) * 100.0,
+                        s.entries,
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "cache: disabled");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Wall-clock timings (thread count, per-run and slowest-cell times).
+    /// Separate from [`SweepOutcome::render`] because timings are the one
+    /// thing that legitimately varies run to run.
+    pub fn render_timings(&self) -> String {
+        let mut out = String::new();
+        for run in &self.runs {
+            let slowest = self
+                .cells
+                .iter()
+                .filter(|c| c.costing == run.costing)
+                .max_by_key(|c| c.wall);
+            let _ = write!(
+                out,
+                "[timings] {} costing: {:.1} ms on {} threads",
+                run.costing,
+                run.wall_clock.as_secs_f64() * 1e3,
+                run.threads,
+            );
+            if let Some(c) = slowest {
+                let _ = write!(
+                    out,
+                    "; slowest cell {}/{} at {:.1} ms",
+                    c.topology,
+                    c.benchmark,
+                    c.wall.as_secs_f64() * 1e3
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_grammar_round_trips() {
+        assert_eq!(parse_topology("grid4x4").unwrap().label(), "grid4x4");
+        assert_eq!(parse_topology("RING16").unwrap().label(), "ring16");
+        assert_eq!(parse_topology("heavy-hex3").unwrap().label(), "heavy-hex3");
+        assert_eq!(parse_topology("heavy_hex3").unwrap().label(), "heavy-hex3");
+        assert_eq!(parse_topology("line16").unwrap().label(), "line16");
+        assert_eq!(
+            parse_topology("modular2x8x2").unwrap().label(),
+            "modular2x8x2"
+        );
+        // Every zoo label parses back to itself, so labels can be copied
+        // from a report straight into `--topologies`.
+        for name in ["grid4x4", "ring16", "heavy-hex3", "line16", "modular2x8x2"] {
+            let label = parse_topology(name).unwrap().label().to_string();
+            assert_eq!(parse_topology(&label).unwrap().label(), label);
+        }
+        for bad in [
+            "torus4",
+            "grid4",
+            "gridx4",
+            "ring0",
+            "line0",
+            "modular2x8",
+            "grid0x4",
+        ] {
+            assert!(parse_topology(bad).is_err(), "`{bad}` should be rejected");
+        }
+        // Constructor-level rejections surface as messages, not panics.
+        assert!(parse_topology("modular2x8x9").is_err());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let mut spec = SweepSpec::smoke();
+        spec.benchmarks = vec!["NOPE".into()];
+        let err = run_sweep(&spec).unwrap_err();
+        assert!(err.contains("NOPE") && err.contains("GHZ"), "{err}");
+    }
+
+    #[test]
+    fn smoke_sweep_fills_every_cell() {
+        let spec = SweepSpec::smoke();
+        let out = run_sweep(&spec).unwrap();
+        assert_eq!(out.cells.len(), 3 * 2);
+        assert_eq!(out.runs.len(), 1);
+        assert!(out.cells.iter().all(|c| c.depth > 0 && c.blocks > 0));
+        // Topology matters: GHZ's CX chain embeds SWAP-free on the ring
+        // but pays SWAPs on the row-major grid layout.
+        let swaps = |topo: &str, bench: &str| {
+            out.cells
+                .iter()
+                .find(|c| c.topology == topo && c.benchmark == bench)
+                .unwrap()
+                .swaps
+        };
+        assert_eq!(swaps("ring16", "GHZ"), 0);
+        assert!(swaps("grid4x4", "GHZ") > 0);
+        let text = out.render();
+        assert!(text.contains("ring16") && text.contains("by topology"));
+        assert!(!text.contains("ms"), "deterministic report leaked timings");
+        assert!(out.render_timings().contains("threads"));
+    }
+}

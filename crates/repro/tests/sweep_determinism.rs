@@ -1,0 +1,23 @@
+//! The sweep's acceptance guarantee: the rendered report is a pure
+//! function of the spec — bit-identical at any worker-thread count.
+
+use paradrive_engine::Costing;
+use paradrive_repro::sweep::{run_sweep, SweepSpec};
+
+#[test]
+fn sweep_report_is_bit_identical_across_thread_counts() {
+    // The smoke cross-product widened to both costing disciplines (the
+    // benchmarks stay family-class, so synthesis costing stays fast).
+    let mut spec = SweepSpec::smoke();
+    spec.costings = vec![Costing::Hull, Costing::Synthesized];
+    spec.threads = 1;
+    let one = run_sweep(&spec).expect("single-threaded sweep");
+    spec.threads = 4;
+    let four = run_sweep(&spec).expect("multi-threaded sweep");
+    assert_eq!(
+        one.render(),
+        four.render(),
+        "sweep report differs between 1 and 4 threads"
+    );
+    assert_eq!(one.cells.len(), four.cells.len());
+}

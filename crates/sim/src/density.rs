@@ -153,6 +153,39 @@ mod tests {
     }
 
     #[test]
+    fn amplitude_damping_is_trace_preserving_everywhere() {
+        // The Kraus pair must satisfy K0†K0 + K1†K1 = I, so tr(ρ) stays 1
+        // for every damping strength, qubit, width and input state —
+        // including entangled (GHZ) and locally rotated ones.
+        let states: Vec<State> = vec![State::run(&benchmarks::ghz(3)), excited(3), {
+            let mut c = Circuit::new(3);
+            c.push_1q(OneQ::H, 0);
+            c.push_1q(OneQ::T, 1);
+            c.push_1q(OneQ::X, 2);
+            State::run(&c)
+        }];
+        for state in &states {
+            for p in [0.0, 0.17, 0.5, 0.83, 1.0] {
+                let mut rho = Density::from_state(state);
+                for q in 0..rho.n_qubits() {
+                    rho.amplitude_damp(q, p);
+                    assert!(
+                        (rho.trace() - 1.0).abs() < 1e-12,
+                        "trace drifted to {} at p = {p}, qubit {q}",
+                        rho.trace()
+                    );
+                }
+            }
+        }
+        // Repeated relax_all steps keep the trace pinned too.
+        let mut rho = Density::from_state(&State::run(&benchmarks::ghz(3)));
+        for _ in 0..5 {
+            rho.relax_all(0.21, 1.0);
+        }
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
     fn full_damping_resets_to_ground() {
         let mut rho = Density::from_state(&excited(2));
         rho.amplitude_damp(0, 1.0);

@@ -68,6 +68,23 @@ pub enum TranspileError {
     },
     /// The coupling graph is disconnected, so routing cannot succeed.
     DisconnectedTopology,
+    /// An edge list names a self-loop or an endpoint outside `0..n`.
+    InvalidEdge {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+        /// Number of qubits in the map under construction.
+        n: usize,
+    },
+    /// A topology constructor was given inconsistent parameters.
+    InvalidTopology(String),
+    /// The router failed to make progress on a gate (a topology whose
+    /// SWAP heuristic oscillates; never expected on the zoo topologies).
+    RoutingStuck {
+        /// Index of the gate the router could not legalize.
+        gate_index: usize,
+    },
     /// A consolidated block failed Weyl-coordinate extraction.
     Weyl(String),
 }
@@ -80,6 +97,13 @@ impl std::fmt::Display for TranspileError {
             }
             TranspileError::DisconnectedTopology => {
                 write!(f, "coupling topology is disconnected")
+            }
+            TranspileError::InvalidEdge { a, b, n } => {
+                write!(f, "invalid edge ({a},{b}) for a {n}-qubit coupling map")
+            }
+            TranspileError::InvalidTopology(why) => write!(f, "invalid topology: {why}"),
+            TranspileError::RoutingStuck { gate_index } => {
+                write!(f, "router failed to converge on gate {gate_index}")
             }
             TranspileError::Weyl(e) => write!(f, "Weyl extraction failed: {e}"),
         }

@@ -57,7 +57,8 @@ pub fn route(circuit: &Circuit, map: &CouplingMap, seed: u64) -> Result<Routed, 
 /// # Errors
 ///
 /// Returns [`TranspileError::TooManyQubits`] when the circuit is wider than
-/// the device.
+/// the device, and [`TranspileError::RoutingStuck`] if the SWAP heuristic
+/// fails to legalize a gate within `4 × n_qubits` insertions.
 pub fn route_with_options(
     circuit: &Circuit,
     map: &CouplingMap,
@@ -100,10 +101,9 @@ pub fn route_with_options(
                 let mut guard = 0;
                 while !map.are_adjacent(layout[*a], layout[*b]) {
                     guard += 1;
-                    assert!(
-                        guard <= 4 * n_phys,
-                        "router failed to converge; topology bug?"
-                    );
+                    if guard > 4 * n_phys {
+                        return Err(TranspileError::RoutingStuck { gate_index: op_idx });
+                    }
                     let swap = best_swap(
                         circuit,
                         map,
