@@ -9,12 +9,13 @@ use crate::rules::{BaselineSqrtIswap, ParallelDriveRules};
 use crate::CoreError;
 use paradrive_circuit::benchmarks::{standard_suite, Benchmark};
 use paradrive_circuit::Circuit;
+use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::consolidate::{consolidate, lambda_fit, Item};
 use paradrive_transpiler::fidelity::{
     relative_improvement_pct, relative_reduction_pct, FidelityModel,
 };
 use paradrive_transpiler::routing::route_best_of;
-use paradrive_transpiler::schedule::schedule;
+use paradrive_transpiler::schedule::{schedule, schedule_with_calibration, ScheduleOptions};
 use paradrive_transpiler::topology::CouplingMap;
 use paradrive_transpiler::CostModel;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,11 @@ pub struct BenchmarkResult {
     pub fq_improvement_pct: f64,
     /// Relative total-circuit fidelity improvement, percent.
     pub ft_improvement_pct: f64,
+    /// Absolute total fidelity `F_T` under the baseline rules — per-wire
+    /// lifetimes and per-edge gate errors when a calibration is attached.
+    pub baseline_total_fidelity: f64,
+    /// Absolute total fidelity `F_T` under the optimized rules.
+    pub optimized_total_fidelity: f64,
 }
 
 /// Transpiles one circuit under both cost models.
@@ -85,17 +91,70 @@ pub fn evaluate_consolidated(
     circuit_qubits: usize,
     fidelity: FidelityModel,
 ) -> BenchmarkResult {
+    evaluate_with_calibration(
+        name,
+        items,
+        swaps,
+        baseline,
+        optimized,
+        device_qubits,
+        circuit_qubits,
+        fidelity,
+        None,
+    )
+}
+
+/// [`evaluate_consolidated`] under an optional device [`Calibration`].
+///
+/// With a calibration, scheduling charges per-edge 2Q durations and
+/// per-qubit 1Q factors, and the `F_T` columns use per-wire lifetimes
+/// times the per-edge gate-error survival product (the calibration's own
+/// baseline model supersedes `fidelity` there). With `None` — or a
+/// [uniform](Calibration::uniform) calibration whose baseline equals
+/// `fidelity` — every output field is bit-identical to the homogeneous
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with_calibration(
+    name: &str,
+    items: &[Item],
+    swaps: usize,
+    baseline: &dyn CostModel,
+    optimized: &dyn CostModel,
+    device_qubits: usize,
+    circuit_qubits: usize,
+    fidelity: FidelityModel,
+    calibration: Option<&Calibration>,
+) -> BenchmarkResult {
     let blocks = items
         .iter()
         .filter(|i| matches!(i, Item::Block { .. }))
         .count();
-    let base = schedule(items, baseline, device_qubits);
-    let opt = schedule(items, optimized, device_qubits);
+    let run = |model: &dyn CostModel| match calibration {
+        Some(cal) => {
+            schedule_with_calibration(items, model, device_qubits, ScheduleOptions::default(), cal)
+        }
+        None => schedule(items, model, device_qubits),
+    };
+    let base = run(baseline);
+    let opt = run(optimized);
 
     let fq_base = fidelity.qubit_fidelity(base.duration);
     let fq_opt = fidelity.qubit_fidelity(opt.duration);
-    let ft_base = fidelity.total_fidelity(base.duration, circuit_qubits);
-    let ft_opt = fidelity.total_fidelity(opt.duration, circuit_qubits);
+    let (ft_base, ft_opt) = match calibration {
+        Some(cal) => {
+            // Both models route/consolidate identically, so they share one
+            // gate-error survival product.
+            let survival = cal.gate_error_product(items);
+            (
+                cal.total_fidelity(base.duration, circuit_qubits) * survival,
+                cal.total_fidelity(opt.duration, circuit_qubits) * survival,
+            )
+        }
+        None => (
+            fidelity.total_fidelity(base.duration, circuit_qubits),
+            fidelity.total_fidelity(opt.duration, circuit_qubits),
+        ),
+    };
 
     BenchmarkResult {
         name: name.to_string(),
@@ -106,6 +165,8 @@ pub fn evaluate_consolidated(
         duration_reduction_pct: relative_reduction_pct(base.duration, opt.duration),
         fq_improvement_pct: relative_improvement_pct(fq_base, fq_opt),
         ft_improvement_pct: relative_improvement_pct(ft_base, ft_opt),
+        baseline_total_fidelity: ft_base,
+        optimized_total_fidelity: ft_opt,
     }
 }
 
@@ -264,6 +325,92 @@ mod tests {
             "reduction {}",
             r.duration_reduction_pct
         );
+    }
+
+    #[test]
+    fn calibrated_uniform_evaluation_is_bit_identical() {
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::ghz(16);
+        let routed = route_best_of(&c, &map, 3).unwrap();
+        let items = consolidate(&routed.circuit).unwrap();
+        let baseline = BaselineSqrtIswap::new(0.25);
+        let optimized = ParallelDriveRules::new(0.25);
+        let fidelity = FidelityModel::paper();
+        let legacy = evaluate_consolidated(
+            "GHZ",
+            &items,
+            routed.swaps_inserted,
+            &baseline,
+            &optimized,
+            16,
+            16,
+            fidelity,
+        );
+        let cal = Calibration::uniform(&map, fidelity);
+        let calibrated = evaluate_with_calibration(
+            "GHZ",
+            &items,
+            routed.swaps_inserted,
+            &baseline,
+            &optimized,
+            16,
+            16,
+            fidelity,
+            Some(&cal),
+        );
+        assert_eq!(
+            legacy.baseline_duration.to_bits(),
+            calibrated.baseline_duration.to_bits()
+        );
+        assert_eq!(
+            legacy.optimized_duration.to_bits(),
+            calibrated.optimized_duration.to_bits()
+        );
+        assert_eq!(
+            legacy.ft_improvement_pct.to_bits(),
+            calibrated.ft_improvement_pct.to_bits()
+        );
+        assert_eq!(
+            legacy.optimized_total_fidelity.to_bits(),
+            calibrated.optimized_total_fidelity.to_bits()
+        );
+    }
+
+    #[test]
+    fn hotspot_calibration_penalizes_total_fidelity() {
+        let map = CouplingMap::grid(4, 4);
+        let c = benchmarks::qft(16);
+        let routed = route_best_of(&c, &map, 3).unwrap();
+        let items = consolidate(&routed.circuit).unwrap();
+        let baseline = BaselineSqrtIswap::new(0.25);
+        let optimized = ParallelDriveRules::new(0.25);
+        let fidelity = FidelityModel::paper();
+        let eval = |cal: Option<&Calibration>| {
+            evaluate_with_calibration(
+                "QFT",
+                &items,
+                routed.swaps_inserted,
+                &baseline,
+                &optimized,
+                16,
+                16,
+                fidelity,
+                cal,
+            )
+        };
+        let clean = eval(None);
+        // Every edge dead would be extreme; 6 seeded hotspots on a QFT that
+        // blankets the lattice will almost surely be crossed.
+        let cal = Calibration::hotspot(&map, fidelity, 6, 3).unwrap();
+        let hot = eval(Some(&cal));
+        assert!(
+            hot.optimized_total_fidelity < clean.optimized_total_fidelity,
+            "hotspot {} should cost fidelity vs clean {}",
+            hot.optimized_total_fidelity,
+            clean.optimized_total_fidelity
+        );
+        // Durations grow too: dead edges are slower, not just noisier.
+        assert!(hot.optimized_duration > clean.optimized_duration);
     }
 
     #[test]

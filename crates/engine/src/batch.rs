@@ -5,19 +5,20 @@
 //! fan a whole topology × workload cross-product across the worker pool
 //! while sharing a single decomposition cache (decomposition costs depend
 //! only on the Weyl class, never on the topology, so cache entries are
-//! valid across every map in the batch). Topologies are held behind
-//! [`Arc`] so a sweep that reuses one map across many jobs shares a
-//! single distance matrix.
+//! valid across every map in the batch). Topologies and [`Calibration`]s
+//! are held behind [`Arc`] so a sweep that reuses one device across many
+//! jobs shares a single distance matrix and calibration table.
 
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_circuit::Circuit;
+use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
 use std::sync::Arc;
 
 /// One unit of batch work: a named logical circuit to push through the
 /// route → consolidate → schedule → fidelity pipeline, optionally pinned
-/// to its own coupling topology.
+/// to its own coupling topology and device calibration.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// Display name carried into the report.
@@ -26,6 +27,8 @@ pub struct Job {
     pub circuit: Circuit,
     /// Per-job topology override (`None` uses the batch default).
     map: Option<Arc<CouplingMap>>,
+    /// Device calibration (`None` runs the homogeneous legacy pipeline).
+    calibration: Option<Arc<Calibration>>,
 }
 
 impl Job {
@@ -35,6 +38,7 @@ impl Job {
             name: name.into(),
             circuit,
             map: None,
+            calibration: None,
         }
     }
 
@@ -44,12 +48,28 @@ impl Job {
             name: name.into(),
             circuit,
             map: Some(map),
+            calibration: None,
         }
+    }
+
+    /// Attaches a device calibration (builder). The calibration must be
+    /// built for exactly the job's topology (same qubit count and edge
+    /// set, see `Calibration::validate_for`); mismatches fail the job at
+    /// run time with a typed error.
+    #[must_use]
+    pub fn calibrated(mut self, calibration: Arc<Calibration>) -> Self {
+        self.calibration = Some(calibration);
+        self
     }
 
     /// The job's topology override, if any.
     pub fn map(&self) -> Option<&CouplingMap> {
         self.map.as_deref()
+    }
+
+    /// The job's device calibration, if any.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_deref()
     }
 }
 
@@ -104,6 +124,21 @@ impl Batch {
         self
     }
 
+    /// Appends one job pinned to its own topology *and* device
+    /// calibration — one sweep cell of a topology × calibration
+    /// cross-product.
+    pub fn push_calibrated(
+        &mut self,
+        name: impl Into<String>,
+        circuit: Circuit,
+        map: Arc<CouplingMap>,
+        calibration: Arc<Calibration>,
+    ) -> &mut Self {
+        self.jobs
+            .push(Job::on(name, circuit, map).calibrated(calibration));
+        self
+    }
+
     /// The batch's default coupling topology.
     pub fn map(&self) -> &CouplingMap {
         &self.map
@@ -116,6 +151,15 @@ impl Batch {
     /// Panics if `job` is out of range.
     pub fn map_for(&self, job: usize) -> &CouplingMap {
         self.jobs[job].map().unwrap_or(&self.map)
+    }
+
+    /// The calibration of job `job`, if one is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn calibration_for(&self, job: usize) -> Option<&Calibration> {
+        self.jobs[job].calibration()
     }
 
     /// The submitted jobs, in submission order.
@@ -167,6 +211,10 @@ pub struct EngineConfig {
     /// Keep each job's routed physical circuit in the report (costs
     /// memory; used by determinism tests and downstream consumers).
     pub keep_routed: bool,
+    /// Route noise-aware on jobs that carry a calibration: SWAP scoring
+    /// penalizes high-error edges and dead edges are never used. Off by
+    /// default — the noise-blind scoring is the baseline costing.
+    pub noise_aware: bool,
 }
 
 impl Default for EngineConfig {
@@ -179,6 +227,7 @@ impl Default for EngineConfig {
             cache: true,
             costing: Costing::default(),
             keep_routed: false,
+            noise_aware: false,
         }
     }
 }
@@ -211,6 +260,12 @@ impl EngineConfig {
     /// Keeps routed circuits in the report.
     pub fn keep_routed(mut self, on: bool) -> Self {
         self.keep_routed = on;
+        self
+    }
+
+    /// Enables or disables noise-aware routing on calibrated jobs.
+    pub fn noise_aware(mut self, on: bool) -> Self {
+        self.noise_aware = on;
         self
     }
 
@@ -263,6 +318,22 @@ mod tests {
         assert_eq!(b.map_for(1).label(), "ring8");
         assert!(b.jobs()[0].map().is_none());
         assert_eq!(b.jobs()[1].map().unwrap().n_qubits(), 8);
+    }
+
+    #[test]
+    fn calibrated_jobs_resolve_per_job_calibrations() {
+        let ring = Arc::new(CouplingMap::ring(8));
+        let cal = Arc::new(Calibration::uniform(&ring, FidelityModel::paper()));
+        let mut b = Batch::new(CouplingMap::grid(2, 2));
+        b.push("plain", benchmarks::ghz(4)).push_calibrated(
+            "calibrated",
+            benchmarks::ghz(8),
+            Arc::clone(&ring),
+            Arc::clone(&cal),
+        );
+        assert!(b.calibration_for(0).is_none());
+        assert_eq!(b.calibration_for(1).unwrap().label(), "uniform");
+        assert_eq!(b.jobs()[1].calibration().unwrap().n_qubits(), 8);
     }
 
     #[test]

@@ -20,10 +20,10 @@ use crate::batch::{Batch, Costing, EngineConfig};
 use crate::cache::{CachedCostModel, DecompositionCache};
 use crate::report::{CircuitReport, EngineReport};
 use crate::EngineError;
-use paradrive_core::flow::evaluate_consolidated;
+use paradrive_core::flow::evaluate_with_calibration;
 use paradrive_core::rules::{BaselineSqrtIswap, ParallelDriveRules, SynthesizedParallelDrive};
 use paradrive_transpiler::consolidate::consolidate;
-use paradrive_transpiler::routing::{route, Routed};
+use paradrive_transpiler::routing::{route_with_oracle, NoiseOracle, Routed, RouterOptions};
 use paradrive_transpiler::TranspileError;
 use paradrive_transpiler::{CostModel, GateCost};
 use paradrive_weyl::WeylPoint;
@@ -48,9 +48,29 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         .cache
         .then(|| (DecompositionCache::new(), DecompositionCache::new()));
 
+    // Validate each job's calibration against its device once, and build
+    // the noise-aware routing oracle (an all-pairs effective-distance
+    // solve) once per job rather than once per routing seed. Invalid jobs
+    // carry their error into the routing units.
+    let noise: Vec<Result<Option<NoiseOracle>, TranspileError>> = (0..n_jobs)
+        .map(|job| {
+            let map = batch.map_for(job);
+            match batch.calibration_for(job) {
+                Some(cal) => {
+                    cal.validate_for(map)?;
+                    Ok(config
+                        .noise_aware
+                        .then(|| NoiseOracle::new(map, cal, RouterOptions::default())))
+                }
+                None => Ok(None),
+            }
+        })
+        .collect();
+
     let shared = Shared {
         batch,
         config,
+        noise,
         seeds,
         baseline: BaselineSqrtIswap::new(config.d_1q),
         optimized: OptimizedModel::new(config),
@@ -141,6 +161,10 @@ impl CostModel for OptimizedModel {
 struct Shared<'a> {
     batch: &'a Batch,
     config: &'a EngineConfig,
+    /// Per-job noise-aware routing oracle (`Ok(None)` for noise-blind or
+    /// uncalibrated jobs), or the calibration-validation error every one
+    /// of the job's routing units reports.
+    noise: Vec<Result<Option<NoiseOracle>, TranspileError>>,
     seeds: usize,
     baseline: BaselineSqrtIswap,
     optimized: OptimizedModel,
@@ -169,12 +193,18 @@ impl Shared<'_> {
             let job = unit / self.seeds;
             let seed = (unit % self.seeds) as u64;
 
+            let map = self.batch.map_for(job);
             let t0 = Instant::now();
-            let result = route(
-                &self.batch.jobs()[job].circuit,
-                self.batch.map_for(job),
-                seed,
-            );
+            let result = match &self.noise[job] {
+                Ok(oracle) => route_with_oracle(
+                    &self.batch.jobs()[job].circuit,
+                    map,
+                    oracle.as_ref(),
+                    seed,
+                    RouterOptions::default(),
+                ),
+                Err(e) => Err(e.clone()),
+            };
             self.route_nanos[job].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             *self.routed[unit].lock().expect("routing slot poisoned") = Some(result);
 
@@ -191,29 +221,35 @@ impl Shared<'_> {
     /// fully routed job.
     fn finish_job(&self, job: usize) -> Result<CircuitReport, TranspileError> {
         let t0 = Instant::now();
-        // Pick the run with strictly fewest SWAPs, earliest seed winning
-        // ties — identical to `route_best_of`'s sequential rule.
-        let mut best: Option<Routed> = None;
+        let cal = self.batch.calibration_for(job);
+        // Pick the best seed. Uncalibrated jobs keep `route_best_of`'s
+        // rule — strictly fewest SWAPs, earliest seed wins. Calibrated
+        // jobs rank by the route's gate-error survival product first, so
+        // a detour around degraded edges beats a shorter route through
+        // them on the metric the rollups report, with SWAP count then
+        // earliest seed as tie-breaks. A uniform calibration scores every
+        // seed at exactly 1.0, degrading to the legacy rule.
+        let mut best: Option<(Routed, f64)> = None;
         for seed in 0..self.seeds {
             let routed = self.routed[job * self.seeds + seed]
                 .lock()
                 .expect("routing slot poisoned")
                 .take()
                 .expect("all units of a finished job are routed")?;
-            if best
-                .as_ref()
-                .is_none_or(|b| routed.swaps_inserted < b.swaps_inserted)
-            {
-                best = Some(routed);
+            let survival = cal.map_or(1.0, |c| c.routed_survival(&routed.circuit));
+            if best.as_ref().is_none_or(|(b, s)| {
+                survival > *s || (survival == *s && routed.swaps_inserted < b.swaps_inserted)
+            }) {
+                best = Some((routed, survival));
             }
         }
-        let best = best.expect("at least one seed per job");
+        let (best, _) = best.expect("at least one seed per job");
         let items = consolidate(&best.circuit)?;
 
         let spec = &self.batch.jobs()[job];
         let map = self.batch.map_for(job);
         let result = match self.caches {
-            Some((bcache, ocache)) => evaluate_consolidated(
+            Some((bcache, ocache)) => evaluate_with_calibration(
                 &spec.name,
                 &items,
                 best.swaps_inserted,
@@ -222,8 +258,9 @@ impl Shared<'_> {
                 map.n_qubits(),
                 spec.circuit.n_qubits(),
                 self.config.fidelity,
+                cal,
             ),
-            None => evaluate_consolidated(
+            None => evaluate_with_calibration(
                 &spec.name,
                 &items,
                 best.swaps_inserted,
@@ -232,12 +269,14 @@ impl Shared<'_> {
                 map.n_qubits(),
                 spec.circuit.n_qubits(),
                 self.config.fidelity,
+                cal,
             ),
         };
 
         Ok(CircuitReport {
             result,
             topology: map.label().to_string(),
+            calibration: cal.map_or_else(|| "uniform".to_string(), |c| c.label().to_string()),
             routed: self.config.keep_routed.then_some(best.circuit),
             route_time: Duration::from_nanos(self.route_nanos[job].load(Ordering::Relaxed)),
             pipeline_time: t0.elapsed(),
@@ -379,6 +418,119 @@ mod tests {
         assert_eq!(groups.len(), 3);
         assert_eq!(groups[1].topology, "ring10");
         assert_eq!(groups[1].circuits, 2);
+    }
+
+    #[test]
+    fn uniform_calibration_matches_legacy_pipeline_bitwise() {
+        use paradrive_transpiler::calibration::Calibration;
+        use std::sync::Arc;
+        let map = Arc::new(CouplingMap::grid(3, 3));
+        let cal = Arc::new(Calibration::uniform(&map, EngineConfig::default().fidelity));
+        let mut plain = Batch::with_shared(Arc::clone(&map));
+        let mut calibrated = Batch::with_shared(Arc::clone(&map));
+        for (name, c) in [
+            ("ghz8", benchmarks::ghz(8)),
+            ("ghz9", benchmarks::ghz(9)),
+            ("vqe8", benchmarks::vqe_linear(8, 2, 5)),
+        ] {
+            plain.push(name, c.clone());
+            calibrated.push_calibrated(name, c, Arc::clone(&map), Arc::clone(&cal));
+        }
+        // Noise-aware on a uniform calibration is still the blind router.
+        let base = EngineConfig::default()
+            .routing_seeds(3)
+            .keep_routed(true)
+            .noise_aware(true);
+        let a = run_batch(&plain, &base.threads(2)).unwrap();
+        let b = run_batch(&calibrated, &base.threads(2)).unwrap();
+        results_identical(&a, &b);
+        for (x, y) in a.circuits.iter().zip(&b.circuits) {
+            assert_eq!(
+                x.result.optimized_total_fidelity.to_bits(),
+                y.result.optimized_total_fidelity.to_bits()
+            );
+            assert_eq!(x.calibration, "uniform");
+            assert_eq!(y.calibration, "uniform");
+        }
+    }
+
+    #[test]
+    fn calibrated_batch_is_thread_deterministic() {
+        use paradrive_transpiler::calibration::Calibration;
+        use std::sync::Arc;
+        let map = Arc::new(CouplingMap::grid(3, 3));
+        let fidelity = EngineConfig::default().fidelity;
+        let spread = Arc::new(Calibration::spread(&map, fidelity, 0.3, 7).unwrap());
+        let hotspot = Arc::new(Calibration::hotspot(&map, fidelity, 2, 7).unwrap());
+        let mut batch = Batch::with_shared(Arc::clone(&map));
+        for cal in [&spread, &hotspot] {
+            batch.push_calibrated(
+                format!("ghz9-{}", cal.label()),
+                benchmarks::ghz(9),
+                Arc::clone(&map),
+                Arc::clone(cal),
+            );
+            batch.push_calibrated(
+                format!("vqe8-{}", cal.label()),
+                benchmarks::vqe_linear(8, 2, 5),
+                Arc::clone(&map),
+                Arc::clone(cal),
+            );
+        }
+        let base = EngineConfig::default()
+            .routing_seeds(4)
+            .keep_routed(true)
+            .noise_aware(true);
+        let one = run_batch(&batch, &base.threads(1)).unwrap();
+        let four = run_batch(&batch, &base.threads(4)).unwrap();
+        results_identical(&one, &four);
+        for (x, y) in one.circuits.iter().zip(&four.circuits) {
+            assert_eq!(x.calibration, y.calibration);
+            assert_eq!(
+                x.result.optimized_total_fidelity.to_bits(),
+                y.result.optimized_total_fidelity.to_bits()
+            );
+        }
+        let groups = one.by_calibration();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].calibration, "spread0.3");
+        assert_eq!(groups[1].calibration, "hotspot2");
+    }
+
+    #[test]
+    fn calibration_device_mismatch_is_job_error() {
+        use paradrive_transpiler::calibration::Calibration;
+        use std::sync::Arc;
+        let grid = Arc::new(CouplingMap::grid(3, 3));
+        let ring = Arc::new(CouplingMap::ring(4));
+        let wrong = Arc::new(Calibration::uniform(
+            &ring,
+            EngineConfig::default().fidelity,
+        ));
+        let mut batch = Batch::with_shared(Arc::clone(&grid));
+        batch.push_calibrated("mismatch", benchmarks::ghz(4), grid, wrong);
+        let err = run_batch(&batch, &EngineConfig::default().routing_seeds(1)).unwrap_err();
+        let EngineError::Job { job, source } = err;
+        assert_eq!(job, "mismatch");
+        assert!(matches!(
+            source,
+            TranspileError::CalibrationMismatch { cal: 4, device: 9 }
+        ));
+
+        // Same qubit count, different topology: the edge sets differ, so
+        // the calibration is rejected rather than silently read as
+        // nominal on every unknown edge.
+        let ring16 = Arc::new(CouplingMap::ring(16));
+        let sneaky = Arc::new(
+            Calibration::hotspot(&ring16, EngineConfig::default().fidelity, 2, 7).unwrap(),
+        );
+        let grid16 = Arc::new(CouplingMap::grid(4, 4));
+        let mut batch = Batch::with_shared(Arc::clone(&grid16));
+        batch.push_calibrated("sneaky", benchmarks::ghz(16), grid16, sneaky);
+        let err = run_batch(&batch, &EngineConfig::default().routing_seeds(1)).unwrap_err();
+        let EngineError::Job { job, source } = err;
+        assert_eq!(job, "sneaky");
+        assert!(matches!(source, TranspileError::InvalidCalibration(_)));
     }
 
     #[test]

@@ -22,7 +22,16 @@
 //!   and reports hit/miss counters;
 //! - [`EngineReport`] aggregates per-circuit results, timings, cache
 //!   statistics and the batch wall clock, with per-topology rollups
-//!   ([`EngineReport::by_topology`]) for heterogeneous batches.
+//!   ([`EngineReport::by_topology`]) for heterogeneous batches and
+//!   per-calibration rollups ([`EngineReport::by_calibration`]) for
+//!   calibrated ones;
+//! - jobs may carry a device
+//!   [`Calibration`](paradrive_transpiler::calibration::Calibration)
+//!   ([`Batch::push_calibrated`]): scheduling then charges per-edge 2Q
+//!   durations, fidelity uses per-wire lifetimes and per-edge gate
+//!   errors, and [`EngineConfig::noise_aware`] routes around high-error
+//!   edges. A uniform calibration reproduces the legacy homogeneous
+//!   pipeline bit for bit.
 //!
 //! # Example
 //!
@@ -50,7 +59,7 @@ mod report;
 pub use batch::{Batch, Costing, EngineConfig, Job};
 pub use cache::{CacheStats, CachedCostModel, DecompositionCache};
 pub use engine::run_batch;
-pub use report::{CircuitReport, EngineReport, TopologySummary};
+pub use report::{CalibrationSummary, CircuitReport, EngineReport, TopologySummary};
 
 use paradrive_transpiler::TranspileError;
 

@@ -14,6 +14,10 @@ pub struct CircuitReport {
     pub result: BenchmarkResult,
     /// Label of the coupling topology the job was routed on.
     pub topology: String,
+    /// Label of the device calibration the job was scored under
+    /// (`"uniform"` for jobs without one — they run the homogeneous
+    /// model).
+    pub calibration: String,
     /// The best routed physical circuit (only when
     /// [`crate::EngineConfig::keep_routed`] is set).
     pub routed: Option<Circuit>,
@@ -100,6 +104,38 @@ impl EngineReport {
         }
         groups
     }
+
+    /// Per-calibration aggregates over a calibrated batch, grouped by
+    /// calibration label in first-seen (submission) order — the rollup
+    /// that makes noise-aware vs noise-blind routing comparable on a
+    /// heterogeneous device scenario.
+    pub fn by_calibration(&self) -> Vec<CalibrationSummary> {
+        let mut groups: Vec<CalibrationSummary> = Vec::new();
+        for c in &self.circuits {
+            let entry = match groups.iter_mut().find(|g| g.calibration == c.calibration) {
+                Some(g) => g,
+                None => {
+                    groups.push(CalibrationSummary {
+                        calibration: c.calibration.clone(),
+                        circuits: 0,
+                        total_swaps: 0,
+                        mean_reduction_pct: 0.0,
+                        mean_optimized_ft: 0.0,
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            entry.circuits += 1;
+            entry.total_swaps += c.result.swaps;
+            entry.mean_reduction_pct += c.result.duration_reduction_pct;
+            entry.mean_optimized_ft += c.result.optimized_total_fidelity;
+        }
+        for g in &mut groups {
+            g.mean_reduction_pct /= g.circuits as f64;
+            g.mean_optimized_ft /= g.circuits as f64;
+        }
+        groups
+    }
 }
 
 /// Aggregate outcome for every job sharing one coupling topology.
@@ -115,25 +151,56 @@ pub struct TopologySummary {
     pub mean_reduction_pct: f64,
 }
 
+/// Aggregate outcome for every job sharing one device calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSummary {
+    /// Calibration label (see `Calibration::label`).
+    pub calibration: String,
+    /// Number of jobs scored under this calibration.
+    pub circuits: usize,
+    /// Total SWAPs inserted across those jobs.
+    pub total_swaps: usize,
+    /// Mean duration reduction over those jobs, percent.
+    pub mean_reduction_pct: f64,
+    /// Mean optimized total fidelity `F_T` over those jobs — the headline
+    /// number noise-aware routing is judged on. The per-wire decay term
+    /// uses the circuit's initial-layout wires (Eq. 11's convention, kept
+    /// for bit-compatibility with the homogeneous model); routing quality
+    /// enters through the duration and the per-edge gate-error survival
+    /// product.
+    pub mean_optimized_ft: f64,
+}
+
 impl fmt::Display for EngineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<12} {:<16} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
-            "circuit", "topology", "swaps", "blocks", "D[base]", "D[opt]", "Δ%", "time"
+            "{:<12} {:<16} {:<12} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>9}",
+            "circuit",
+            "topology",
+            "calib",
+            "swaps",
+            "blocks",
+            "D[base]",
+            "D[opt]",
+            "Δ%",
+            "F[T]opt",
+            "time"
         )?;
         for c in &self.circuits {
             let r = &c.result;
             writeln!(
                 f,
-                "{:<12} {:<16} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>8.1}ms",
+                "{:<12} {:<16} {:<12} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>9.4} {:>8.1}ms",
                 r.name,
                 c.topology,
+                c.calibration,
                 r.swaps,
                 r.blocks,
                 r.baseline_duration,
                 r.optimized_duration,
                 r.duration_reduction_pct,
+                r.optimized_total_fidelity,
                 (c.route_time + c.pipeline_time).as_secs_f64() * 1e3,
             )?;
         }
@@ -174,6 +241,8 @@ mod tests {
             duration_reduction_pct: reduction,
             fq_improvement_pct: 0.1,
             ft_improvement_pct: 1.0,
+            baseline_total_fidelity: 0.8,
+            optimized_total_fidelity: 0.9,
         }
     }
 
@@ -183,6 +252,7 @@ mod tests {
                 CircuitReport {
                     result: result("a", 10.0),
                     topology: "grid4x4".to_string(),
+                    calibration: "uniform".to_string(),
                     routed: None,
                     route_time: Duration::from_millis(2),
                     pipeline_time: Duration::from_millis(3),
@@ -190,6 +260,7 @@ mod tests {
                 CircuitReport {
                     result: result("b", 20.0),
                     topology: "ring16".to_string(),
+                    calibration: "hotspot2".to_string(),
                     routed: None,
                     route_time: Duration::from_millis(1),
                     pipeline_time: Duration::from_millis(4),
@@ -226,6 +297,7 @@ mod tests {
         r.circuits.push(CircuitReport {
             result: result("c", 30.0),
             topology: "grid4x4".to_string(),
+            calibration: "uniform".to_string(),
             routed: None,
             route_time: Duration::from_millis(1),
             pipeline_time: Duration::from_millis(1),
@@ -239,6 +311,31 @@ mod tests {
         assert_eq!(groups[1].topology, "ring16");
         assert_eq!(groups[1].circuits, 1);
         assert!((groups[1].mean_reduction_pct - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_calibration_groups_and_averages_ft() {
+        let mut r = report();
+        r.circuits.push(CircuitReport {
+            result: BenchmarkResult {
+                optimized_total_fidelity: 0.5,
+                ..result("c", 30.0)
+            },
+            topology: "grid4x4".to_string(),
+            calibration: "hotspot2".to_string(),
+            routed: None,
+            route_time: Duration::from_millis(1),
+            pipeline_time: Duration::from_millis(1),
+        });
+        let groups = r.by_calibration();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].calibration, "uniform");
+        assert_eq!(groups[0].circuits, 1);
+        assert!((groups[0].mean_optimized_ft - 0.9).abs() < 1e-12);
+        assert_eq!(groups[1].calibration, "hotspot2");
+        assert_eq!(groups[1].circuits, 2);
+        assert!((groups[1].mean_optimized_ft - 0.7).abs() < 1e-12);
+        assert!((groups[1].mean_reduction_pct - 25.0).abs() < 1e-12);
     }
 
     #[test]

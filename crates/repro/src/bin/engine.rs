@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! cargo run --release -p paradrive-repro --bin engine -- \
-//!     [--threads N] [--seeds N] [--no-cache] [--synth] [--suite-seed N] [NAME ...]
+//!     [--threads N] [--seeds N] [--no-cache] [--synth] [--suite-seed N] \
+//!     [--calibration SPEC] [--calibration-seed N] [--noise-aware] [NAME ...]
 //! ```
 //!
 //! `--synth` prices general classes by per-target template synthesis (the
 //! paper's Algorithm-1 discipline) instead of the precomputed coverage
 //! hulls — the regime where the decomposition cache dominates.
+//!
+//! `--calibration` attaches a device calibration scenario (`uniform`,
+//! `spread<SIGMA>`, `hotspot<K>`, `gradient<STRENGTH>`) to every job;
+//! `--noise-aware` additionally routes around its high-error edges.
 //!
 //! Positional `NAME`s select benchmarks (case-insensitive: QV, VQE_L, GHZ,
 //! HLF, QFT, Adder, QAOA, VQE_F, Multiplier); with none given the full
@@ -16,8 +21,10 @@
 
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_engine::{run_batch, Batch, Costing, EngineConfig};
+use paradrive_repro::sweep::parse_calibration;
 use paradrive_transpiler::topology::CouplingMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     threads: usize,
@@ -25,6 +32,9 @@ struct Args {
     cache: bool,
     costing: Costing,
     suite_seed: u64,
+    calibration: Option<String>,
+    calibration_seed: u64,
+    noise_aware: bool,
     names: Vec<String>,
 }
 
@@ -35,6 +45,9 @@ fn parse_args() -> Result<Args, String> {
         cache: true,
         costing: Costing::Hull,
         suite_seed: 7,
+        calibration: None,
+        calibration_seed: 17,
+        noise_aware: false,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,10 +71,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-cache" => args.cache = false,
             "--synth" => args.costing = Costing::Synthesized,
+            "--calibration" => args.calibration = Some(value("--calibration")?),
+            "--calibration-seed" => {
+                args.calibration_seed = value("--calibration-seed")?
+                    .parse()
+                    .map_err(|e| format!("--calibration-seed: {e}"))?;
+            }
+            "--noise-aware" => args.noise_aware = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine [--threads N] [--seeds N] [--no-cache] [--synth] \
-                            [--suite-seed N] [NAME ...]"
+                            [--suite-seed N] [--calibration SPEC] [--calibration-seed N] \
+                            [--noise-aware] [NAME ...]"
                         .to_string(),
                 )
             }
@@ -81,32 +102,60 @@ fn main() -> ExitCode {
         }
     };
 
-    let batch = if args.names.is_empty() {
-        Batch::standard(args.suite_seed)
+    let map = Arc::new(CouplingMap::grid(4, 4));
+    let calibration = match &args.calibration {
+        Some(spec) => {
+            match parse_calibration(
+                spec,
+                &map,
+                EngineConfig::default().fidelity,
+                args.calibration_seed,
+            ) {
+                Ok(cal) => Some(Arc::new(cal)),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let suite = standard_suite(args.suite_seed);
+    let selected: Vec<_> = if args.names.is_empty() {
+        suite.into_iter().collect()
     } else {
-        let suite = standard_suite(args.suite_seed);
-        let mut batch = Batch::new(CouplingMap::grid(4, 4));
+        let mut picked = Vec::new();
         for want in &args.names {
             match suite.iter().find(|b| b.name.eq_ignore_ascii_case(want)) {
-                Some(b) => {
-                    batch.push(b.name, b.circuit.clone());
-                }
+                Some(b) => picked.push(b.clone()),
                 None => {
                     eprintln!("unknown benchmark `{want}`");
                     return ExitCode::FAILURE;
                 }
             }
         }
-        batch
+        picked
     };
+    let mut batch = Batch::with_shared(Arc::clone(&map));
+    for b in selected {
+        match &calibration {
+            Some(cal) => {
+                batch.push_calibrated(b.name, b.circuit, Arc::clone(&map), Arc::clone(cal));
+            }
+            None => {
+                batch.push(b.name, b.circuit);
+            }
+        }
+    }
 
     let config = EngineConfig::default()
         .threads(args.threads)
         .routing_seeds(args.seeds)
         .cache(args.cache)
-        .costing(args.costing);
+        .costing(args.costing)
+        .noise_aware(args.noise_aware);
     println!(
-        "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing",
+        "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing, {} calibration{}",
         batch.len(),
         config.workers_for(&batch),
         args.seeds,
@@ -115,6 +164,14 @@ fn main() -> ExitCode {
             "hull"
         } else {
             "synthesized"
+        },
+        calibration
+            .as_deref()
+            .map_or("uniform", |c| c.label()),
+        if args.noise_aware {
+            ", noise-aware routing"
+        } else {
+            ""
         },
     );
     match run_batch(&batch, &config) {

@@ -1,18 +1,24 @@
-//! `sweep` CLI: run the topology × benchmark × costing × seed
-//! cross-product through the batched multi-threaded engine and print a
-//! per-cell report with per-topology rollups.
+//! `sweep` CLI: run the topology × benchmark × costing × calibration ×
+//! seed cross-product through the batched multi-threaded engine and print
+//! a per-cell report with per-topology and per-calibration rollups.
 //!
 //! ```text
 //! cargo run --release -p paradrive-repro --bin sweep -- \
 //!     [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] [--no-cache] \
 //!     [--topologies T1,T2,..] [--benchmarks B1,B2,..] [--costings hull,synth] \
+//!     [--calibrations C1,C2,..] [--calibration-seed N] [--noise-aware] \
 //!     [--timings]
 //! ```
 //!
 //! Topology names follow `grid<R>x<C>`, `line<N>`, `ring<N>`,
-//! `heavyhex<D>`, `modular<CHIPS>x<SIZE>x<LINKS>`. The default sweep is
-//! four zoo topologies × {GHZ, VQE_L, QFT, QAOA} × both costing
-//! disciplines; `--smoke` shrinks that to a seconds-long CI check.
+//! `heavyhex<D>`, `modular<CHIPS>x<SIZE>x<LINKS>`; calibration scenarios
+//! follow `uniform`, `spread<SIGMA>`, `hotspot<K>`,
+//! `gradient<STRENGTH>`. The default sweep is four zoo topologies ×
+//! {GHZ, VQE_L, QFT, QAOA} × both costing disciplines × three
+//! calibration scenarios; `--smoke` shrinks that to a seconds-long CI
+//! check. `--noise-aware` routes around high-error calibrated edges
+//! (dead hotspot edges are never used); without it the noise-blind
+//! scoring is the baseline.
 //!
 //! The report is a pure function of the sweep spec — bit-identical at any
 //! `--threads` setting. Wall-clock timings are printed only with
@@ -24,7 +30,8 @@ use paradrive_repro::sweep::{run_sweep, SweepSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
-     [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] [--timings]";
+     [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] \
+     [--calibrations C1,..] [--calibration-seed N] [--noise-aware] [--timings]";
 
 fn parse_args() -> Result<(SweepSpec, bool), String> {
     let mut spec = SweepSpec::full();
@@ -82,6 +89,18 @@ fn parse_args() -> Result<(SweepSpec, bool), String> {
                     })
                     .collect::<Result<_, _>>()?;
             }
+            "--calibrations" => {
+                spec.calibrations = value("--calibrations")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--calibration-seed" => {
+                spec.calibration_seed = value("--calibration-seed")?
+                    .parse()
+                    .map_err(|e| format!("--calibration-seed: {e}"))?;
+            }
+            "--noise-aware" => spec.noise_aware = true,
             flag => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
     }
@@ -101,12 +120,19 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "sweep: {} topologies x {} benchmarks x {} costings x {} suite seeds, best-of-{} routing",
+        "sweep: {} topologies x {} benchmarks x {} costings x {} calibrations x {} suite seeds, \
+         best-of-{} routing, {} routing policy",
         spec.topologies.len(),
         spec.benchmarks.len(),
         spec.costings.len(),
+        spec.calibrations.len(),
         spec.suite_seeds.len(),
         spec.routing_seeds,
+        if spec.noise_aware {
+            "noise-aware"
+        } else {
+            "noise-blind"
+        },
     );
     match run_sweep(&spec) {
         Ok(outcome) => {

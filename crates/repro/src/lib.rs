@@ -1,9 +1,16 @@
-//! Shared helpers for the experiment-reproduction binaries.
+//! Experiment reproduction: one binary per paper table/figure, plus the
+//! scenario-sweep library.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper; run e.g. `cargo run --release -p paradrive-repro --bin table2`.
-//! The helpers here format aligned tables and paper-vs-measured rows so
-//! EXPERIMENTS.md can quote the output verbatim.
+//! Two binaries go beyond the paper: `engine` drives the batched
+//! multi-threaded pipeline over the benchmark suite, and `sweep` runs
+//! the topology × benchmark × costing × calibration cross-product
+//! implemented by the [`sweep`] module (the deterministic-report
+//! guarantees live there).
+//!
+//! The free functions here format aligned tables and paper-vs-measured
+//! rows so experiment logs can quote binary output verbatim.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

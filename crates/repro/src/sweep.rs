@@ -1,12 +1,17 @@
-//! Scenario sweeps: the topology × benchmark × costing × seed
-//! cross-product, run as one heterogeneous engine batch per costing.
+//! Scenario sweeps: the topology × benchmark × costing × calibration ×
+//! seed cross-product, run as one heterogeneous engine batch per costing.
 //!
 //! The paper's headline claims are topology-sensitive — sparse coupling
 //! maps insert more routing SWAPs, and every SWAP is a 2Q block the
 //! parallel-drive rules discount — so the sweep drives the whole
 //! [`topology zoo`](paradrive_transpiler::topology) through the batched
 //! engine and reports per-cell routing, duration and fidelity numbers
-//! plus per-topology rollups and cache counters.
+//! plus per-topology and per-calibration rollups and cache counters.
+//! Device heterogeneity is the fourth axis: every
+//! [`calibration scenario family`](paradrive_transpiler::calibration) is
+//! instantiated per topology from one deterministic
+//! [`SweepSpec::calibration_seed`], and [`SweepSpec::noise_aware`] routes
+//! around high-error edges.
 //!
 //! Everything in [`SweepOutcome::render`] is a pure function of the
 //! [`SweepSpec`]: wall-clock timings are kept out of the rendered report
@@ -15,7 +20,10 @@
 //! `tests/sweep_determinism.rs`.
 
 use paradrive_circuit::benchmarks::standard_suite;
-use paradrive_engine::{run_batch, Batch, CacheStats, Costing, EngineConfig, TopologySummary};
+use paradrive_engine::{run_batch, Batch, CacheStats, Costing, EngineConfig};
+use paradrive_engine::{CalibrationSummary, TopologySummary};
+use paradrive_transpiler::calibration::Calibration;
+use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -30,10 +38,19 @@ pub struct SweepSpec {
     pub benchmarks: Vec<String>,
     /// Costing disciplines to sweep (one engine run each).
     pub costings: Vec<Costing>,
+    /// Calibration scenario names, parsed by [`parse_calibration`] and
+    /// instantiated per topology.
+    pub calibrations: Vec<String>,
     /// Workload seeds (one `standard_suite` instantiation each).
     pub suite_seeds: Vec<u64>,
+    /// Seed for the stochastic calibration generators (`spread`,
+    /// `hotspot`) — one value covers the whole sweep deterministically.
+    pub calibration_seed: u64,
     /// Best-of-N routing seeds per circuit.
     pub routing_seeds: u64,
+    /// Route noise-aware on calibrated cells (the noise-blind scoring
+    /// stays the baseline when off).
+    pub noise_aware: bool,
     /// Worker threads (`0` = all cores). Never affects the report.
     pub threads: usize,
     /// Decomposition cache on/off.
@@ -42,7 +59,7 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// The default full sweep: four zoo topologies × four benchmarks ×
-    /// both costing disciplines.
+    /// both costing disciplines × three calibration scenarios.
     pub fn full() -> Self {
         SweepSpec {
             topologies: ["grid4x4", "ring16", "heavyhex3", "modular2x8x2"]
@@ -50,15 +67,20 @@ impl SweepSpec {
                 .to_vec(),
             benchmarks: ["GHZ", "VQE_L", "QFT", "QAOA"].map(String::from).to_vec(),
             costings: vec![Costing::Hull, Costing::Synthesized],
+            calibrations: ["uniform", "spread0.3", "hotspot2"]
+                .map(String::from)
+                .to_vec(),
             suite_seeds: vec![7],
+            calibration_seed: 17,
             routing_seeds: 10,
+            noise_aware: false,
             threads: 0,
             cache: true,
         }
     }
 
     /// A tiny cross-product for CI smoke runs: three topologies × two
-    /// family-class benchmarks × hull costing.
+    /// family-class benchmarks × hull costing × the uniform calibration.
     pub fn smoke() -> Self {
         SweepSpec {
             topologies: ["grid4x4", "ring16", "modular2x8x2"]
@@ -66,8 +88,11 @@ impl SweepSpec {
                 .to_vec(),
             benchmarks: ["GHZ", "VQE_L"].map(String::from).to_vec(),
             costings: vec![Costing::Hull],
+            calibrations: vec!["uniform".to_string()],
             suite_seeds: vec![7],
+            calibration_seed: 17,
             routing_seeds: 2,
+            noise_aware: false,
             threads: 0,
             cache: true,
         }
@@ -131,11 +156,69 @@ pub fn parse_topology(name: &str) -> Result<CouplingMap, String> {
     ))
 }
 
+/// Parses a calibration scenario name against a topology.
+///
+/// Grammar (case-insensitive): `uniform`, `spread<SIGMA>`,
+/// `hotspot<K>`, `gradient<STRENGTH>` — e.g. `spread0.3` for lognormal
+/// variation with σ = 0.3, `hotspot2` for two seeded dead/degraded edges.
+/// Labels produced by the generators parse back to an equivalent
+/// scenario, so they can be copied from a report into `--calibrations`.
+///
+/// ```
+/// use paradrive_repro::sweep::parse_calibration;
+/// use paradrive_transpiler::fidelity::FidelityModel;
+/// use paradrive_transpiler::topology::CouplingMap;
+///
+/// let map = CouplingMap::grid(4, 4);
+/// let cal = parse_calibration("hotspot2", &map, FidelityModel::paper(), 17)?;
+/// assert_eq!(cal.label(), "hotspot2");
+/// assert!(!cal.is_uniform());
+/// # Ok::<(), String>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names, malformed
+/// parameters, or parameters the generators reject.
+pub fn parse_calibration(
+    name: &str,
+    map: &CouplingMap,
+    base: FidelityModel,
+    seed: u64,
+) -> Result<Calibration, String> {
+    let flat = name.to_ascii_lowercase();
+    let param = |rest: &str| -> Result<f64, String> {
+        rest.parse::<f64>()
+            .map_err(|_| format!("malformed calibration parameter in `{name}`"))
+    };
+    if flat == "uniform" {
+        return Ok(Calibration::uniform(map, base));
+    }
+    if let Some(rest) = flat.strip_prefix("spread") {
+        return Calibration::spread(map, base, param(rest)?, seed).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = flat.strip_prefix("hotspot") {
+        let k: usize = rest
+            .parse()
+            .map_err(|_| format!("malformed calibration parameter in `{name}`"))?;
+        return Calibration::hotspot(map, base, k, seed).map_err(|e| e.to_string());
+    }
+    if let Some(rest) = flat.strip_prefix("gradient") {
+        return Calibration::gradient(map, base, param(rest)?).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "unknown calibration `{name}` (expected uniform, spread<SIGMA>, \
+         hotspot<K>, or gradient<STRENGTH>)"
+    ))
+}
+
 /// One cell of the cross-product.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Topology label.
     pub topology: String,
+    /// Calibration scenario label.
+    pub calibration: String,
     /// Benchmark name.
     pub benchmark: String,
     /// Costing discipline label (`hull` / `synth`).
@@ -156,6 +239,9 @@ pub struct SweepCell {
     pub reduction_pct: f64,
     /// Total-fidelity improvement, percent.
     pub ft_improvement_pct: f64,
+    /// Absolute optimized total fidelity `F_T` — per-wire lifetimes and
+    /// per-edge gate errors under the cell's calibration.
+    pub optimized_ft: f64,
     /// Per-cell wall time (routing + pipeline) — timing-only, never part
     /// of the deterministic report.
     pub wall: Duration,
@@ -174,6 +260,8 @@ pub struct SweepRun {
     pub cache: Option<CacheStats>,
     /// Per-topology rollups in submission order.
     pub by_topology: Vec<TopologySummary>,
+    /// Per-calibration rollups in submission order.
+    pub by_calibration: Vec<CalibrationSummary>,
 }
 
 /// Everything a sweep produced: per-cell rows plus per-run aggregates.
@@ -194,25 +282,42 @@ fn costing_label(c: Costing) -> &'static str {
 
 /// Runs the cross-product described by `spec` — one heterogeneous engine
 /// batch per costing discipline, sharing each topology's distance matrix
-/// across all of its cells.
+/// and each calibration's table across all of its cells.
 ///
 /// # Errors
 ///
-/// Returns a message for unknown topology/benchmark names and propagates
-/// engine failures (e.g. a benchmark wider than a topology).
+/// Returns a message for unknown topology/benchmark/calibration names and
+/// propagates engine failures (e.g. a benchmark wider than a topology).
 pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
     if spec.topologies.is_empty()
         || spec.benchmarks.is_empty()
         || spec.costings.is_empty()
+        || spec.calibrations.is_empty()
         || spec.suite_seeds.is_empty()
     {
-        return Err("sweep needs at least one topology, benchmark, costing and suite seed".into());
+        return Err(
+            "sweep needs at least one topology, benchmark, costing, calibration and suite seed"
+                .into(),
+        );
     }
     let maps: Vec<Arc<CouplingMap>> = spec
         .topologies
         .iter()
         .map(|name| parse_topology(name).map(Arc::new))
         .collect::<Result<_, _>>()?;
+    // Calibrations are instantiated per topology (they carry per-qubit and
+    // per-edge tables of the device's exact shape) from the one sweep-wide
+    // seed, then shared across every cell of that (topology, scenario).
+    let fidelity = EngineConfig::default().fidelity;
+    let mut cals: Vec<Vec<Arc<Calibration>>> = Vec::with_capacity(maps.len());
+    for map in &maps {
+        let per_map = spec
+            .calibrations
+            .iter()
+            .map(|name| parse_calibration(name, map, fidelity, spec.calibration_seed).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        cals.push(per_map);
+    }
 
     // Instantiate each workload seed once; clone circuits per topology.
     let mut picked: Vec<(u64, Vec<(String, paradrive_circuit::Circuit)>)> = Vec::new();
@@ -235,12 +340,24 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
     // The batch is costing-independent; build it (and the per-cell
     // metadata) once and rerun it per discipline.
     let mut batch = Batch::with_shared(Arc::clone(&maps[0]));
-    let mut meta: Vec<(String, String, u64)> = Vec::new();
-    for map in &maps {
-        for (seed, rows) in &picked {
-            for (name, circuit) in rows {
-                batch.push_on(name.clone(), circuit.clone(), Arc::clone(map));
-                meta.push((map.label().to_string(), name.clone(), *seed));
+    let mut meta: Vec<(String, String, String, u64)> = Vec::new();
+    for (map, per_map) in maps.iter().zip(&cals) {
+        for cal in per_map {
+            for (seed, rows) in &picked {
+                for (name, circuit) in rows {
+                    batch.push_calibrated(
+                        name.clone(),
+                        circuit.clone(),
+                        Arc::clone(map),
+                        Arc::clone(cal),
+                    );
+                    meta.push((
+                        map.label().to_string(),
+                        cal.label().to_string(),
+                        name.clone(),
+                        *seed,
+                    ));
+                }
             }
         }
     }
@@ -258,12 +375,16 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
             .routing_seeds(spec.routing_seeds)
             .cache(spec.cache)
             .costing(costing)
+            .noise_aware(spec.noise_aware)
             .keep_routed(true);
         let report = run_batch(&batch, &config).map_err(|e| e.to_string())?;
-        for (c, (topology, benchmark, suite_seed)) in report.circuits.iter().zip(meta.clone()) {
+        for (c, (topology, calibration, benchmark, suite_seed)) in
+            report.circuits.iter().zip(meta.clone())
+        {
             let r = &c.result;
             cells.push(SweepCell {
                 topology,
+                calibration,
                 benchmark,
                 costing: costing_label(costing),
                 suite_seed,
@@ -274,6 +395,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
                 optimized_duration: r.optimized_duration,
                 reduction_pct: r.duration_reduction_pct,
                 ft_improvement_pct: r.ft_improvement_pct,
+                optimized_ft: r.optimized_total_fidelity,
                 wall: c.route_time + c.pipeline_time,
             });
         }
@@ -283,23 +405,25 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
             wall_clock: report.wall_clock,
             cache: report.cache_stats(),
             by_topology: report.by_topology(),
+            by_calibration: report.by_calibration(),
         });
     }
     Ok(SweepOutcome { cells, runs })
 }
 
 impl SweepOutcome {
-    /// The deterministic report: per-cell rows, per-topology rollups and
-    /// cache counters, with no wall-clock content — bit-identical at any
-    /// thread count.
+    /// The deterministic report: per-cell rows, per-topology and
+    /// per-calibration rollups and cache counters, with no wall-clock
+    /// content — bit-identical at any thread count.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for run in &self.runs {
             let _ = writeln!(out, "== sweep ({} costing) ==", run.costing);
             let _ = writeln!(
                 out,
-                "{:<16} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9}",
+                "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>9}",
                 "topology",
+                "calibration",
                 "benchmark",
                 "seed",
                 "swaps",
@@ -308,13 +432,16 @@ impl SweepOutcome {
                 "D[base]",
                 "D[opt]",
                 "Δ%",
-                "FT imp%"
+                "FT imp%",
+                "F[T]opt"
             );
             for c in self.cells.iter().filter(|c| c.costing == run.costing) {
                 let _ = writeln!(
                     out,
-                    "{:<16} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>9.2}",
+                    "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} \
+                     {:>9.2} {:>9.4}",
                     c.topology,
+                    c.calibration,
                     c.benchmark,
                     c.suite_seed,
                     c.swaps,
@@ -324,6 +451,7 @@ impl SweepOutcome {
                     c.optimized_duration,
                     c.reduction_pct,
                     c.ft_improvement_pct,
+                    c.optimized_ft,
                 );
             }
             let _ = writeln!(out, "by topology:");
@@ -332,6 +460,18 @@ impl SweepOutcome {
                     out,
                     "  {:<16} {} cells, {} swaps, mean Δ {:.1}%",
                     g.topology, g.circuits, g.total_swaps, g.mean_reduction_pct
+                );
+            }
+            let _ = writeln!(out, "by calibration:");
+            for g in &run.by_calibration {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {} cells, {} swaps, mean Δ {:.1}%, mean F[T]opt {:.4}",
+                    g.calibration,
+                    g.circuits,
+                    g.total_swaps,
+                    g.mean_reduction_pct,
+                    g.mean_optimized_ft
                 );
             }
             match run.cache {
@@ -421,6 +561,52 @@ mod tests {
         }
         // Constructor-level rejections surface as messages, not panics.
         assert!(parse_topology("modular2x8x9").is_err());
+    }
+
+    #[test]
+    fn calibration_grammar_round_trips() {
+        use paradrive_transpiler::fidelity::FidelityModel;
+        let map = parse_topology("grid4x4").unwrap();
+        let base = FidelityModel::paper();
+        for name in [
+            "uniform",
+            "spread0.3",
+            "spread0.125",
+            "hotspot2",
+            "gradient1.5",
+        ] {
+            let cal = parse_calibration(name, &map, base, 17).unwrap();
+            // Labels copied from a report parse back to an equivalent
+            // scenario (same generator, same parameters, same seed).
+            let again = parse_calibration(cal.label(), &map, base, 17).unwrap();
+            assert_eq!(cal, again, "label `{}` did not round-trip", cal.label());
+        }
+        assert_eq!(
+            parse_calibration("UNIFORM", &map, base, 0).unwrap().label(),
+            "uniform"
+        );
+        for bad in ["fog", "spreadx", "hotspot", "hotspot999", "gradient-1"] {
+            assert!(
+                parse_calibration(bad, &map, base, 17).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_cells_report_scenario_and_fidelity() {
+        let mut spec = SweepSpec::smoke();
+        spec.topologies = vec!["grid4x4".into()];
+        spec.calibrations = vec!["uniform".into(), "hotspot3".into()];
+        let out = run_sweep(&spec).unwrap();
+        assert_eq!(out.cells.len(), 2 * 2);
+        assert!(out.cells.iter().all(|c| c.optimized_ft > 0.0));
+        let groups = &out.runs[0].by_calibration;
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].calibration, "uniform");
+        assert_eq!(groups[1].calibration, "hotspot3");
+        let text = out.render();
+        assert!(text.contains("by calibration") && text.contains("hotspot3"));
     }
 
     #[test]

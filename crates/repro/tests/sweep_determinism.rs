@@ -1,8 +1,15 @@
 //! The sweep's acceptance guarantee: the rendered report is a pure
-//! function of the spec — bit-identical at any worker-thread count.
+//! function of the spec — bit-identical at any worker-thread count —
+//! including the calibration axis and noise-aware routing.
 
 use paradrive_engine::Costing;
-use paradrive_repro::sweep::{run_sweep, SweepSpec};
+use paradrive_repro::sweep::{run_sweep, SweepOutcome, SweepSpec};
+
+fn at_threads(spec: &SweepSpec, threads: usize) -> SweepOutcome {
+    let mut spec = spec.clone();
+    spec.threads = threads;
+    run_sweep(&spec).unwrap_or_else(|e| panic!("sweep at {threads} threads: {e}"))
+}
 
 #[test]
 fn sweep_report_is_bit_identical_across_thread_counts() {
@@ -10,14 +17,45 @@ fn sweep_report_is_bit_identical_across_thread_counts() {
     // benchmarks stay family-class, so synthesis costing stays fast).
     let mut spec = SweepSpec::smoke();
     spec.costings = vec![Costing::Hull, Costing::Synthesized];
-    spec.threads = 1;
-    let one = run_sweep(&spec).expect("single-threaded sweep");
-    spec.threads = 4;
-    let four = run_sweep(&spec).expect("multi-threaded sweep");
+    let one = at_threads(&spec, 1);
+    let four = at_threads(&spec, 4);
     assert_eq!(
         one.render(),
         four.render(),
         "sweep report differs between 1 and 4 threads"
     );
     assert_eq!(one.cells.len(), four.cells.len());
+}
+
+#[test]
+fn calibrated_noise_aware_sweep_is_bit_identical_across_thread_counts() {
+    // The full four-axis cross-product: topology × benchmark × costing ×
+    // calibration, with seeded heterogeneous calibrations and noise-aware
+    // routing — the report must still be a pure function of the spec.
+    let mut spec = SweepSpec::smoke();
+    spec.calibrations = ["uniform", "spread0.25", "hotspot2"]
+        .map(String::from)
+        .to_vec();
+    spec.noise_aware = true;
+    let one = at_threads(&spec, 1);
+    let four = at_threads(&spec, 4);
+    assert_eq!(
+        one.render(),
+        four.render(),
+        "calibrated sweep report differs between 1 and 4 threads"
+    );
+    // topologies × calibrations × benchmarks cells per costing run.
+    assert_eq!(one.cells.len(), 3 * 3 * 2);
+    // The calibration axis is really there: every scenario label shows up
+    // and heterogeneous cells carry finite fidelities.
+    for label in ["uniform", "spread0.25", "hotspot2"] {
+        assert!(
+            one.cells.iter().any(|c| c.calibration == label),
+            "missing calibration `{label}`"
+        );
+    }
+    assert!(one
+        .cells
+        .iter()
+        .all(|c| c.optimized_ft.is_finite() && c.optimized_ft > 0.0));
 }

@@ -6,6 +6,7 @@
 //! exponential in the number of qubits, which is why small duration savings
 //! cascade (Table VII's `F_T` column).
 
+use crate::TranspileError;
 use serde::{Deserialize, Serialize};
 
 /// Physical timing assumptions converting normalized pulse units to time.
@@ -31,13 +32,38 @@ impl FidelityModel {
 
     /// Creates a model from explicit timings.
     ///
-    /// # Panics
+    /// ```
+    /// use paradrive_transpiler::fidelity::FidelityModel;
+    /// use paradrive_transpiler::TranspileError;
     ///
-    /// Panics unless both timings are positive and finite.
-    pub fn new(iswap_ns: f64, t1_ns: f64) -> Self {
-        assert!(iswap_ns > 0.0 && iswap_ns.is_finite(), "bad iSWAP time");
-        assert!(t1_ns > 0.0 && t1_ns.is_finite(), "bad T1");
-        FidelityModel { iswap_ns, t1_ns }
+    /// let fast = FidelityModel::new(60.0, 200_000.0)?;
+    /// assert!(fast.qubit_fidelity(1.0) > FidelityModel::paper().qubit_fidelity(1.0));
+    /// // Non-physical timings are typed errors, not panics.
+    /// assert!(matches!(
+    ///     FidelityModel::new(-1.0, 200_000.0),
+    ///     Err(TranspileError::InvalidFidelity { what: "iswap_ns", .. })
+    /// ));
+    /// # Ok::<(), TranspileError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranspileError::InvalidFidelity`] unless both timings are
+    /// positive and finite.
+    pub fn new(iswap_ns: f64, t1_ns: f64) -> Result<Self, TranspileError> {
+        if !(iswap_ns > 0.0 && iswap_ns.is_finite()) {
+            return Err(TranspileError::InvalidFidelity {
+                what: "iswap_ns",
+                value: iswap_ns,
+            });
+        }
+        if !(t1_ns > 0.0 && t1_ns.is_finite()) {
+            return Err(TranspileError::InvalidFidelity {
+                what: "t1_ns",
+                value: t1_ns,
+            });
+        }
+        Ok(FidelityModel { iswap_ns, t1_ns })
     }
 
     /// Converts a normalized duration (iSWAP pulses) to nanoseconds.
@@ -105,6 +131,27 @@ mod tests {
         let ft = m.total_fidelity(10.0, 16);
         assert!((ft - fq.powi(16)).abs() < 1e-15);
         assert!(ft < fq);
+    }
+
+    #[test]
+    fn bad_timings_are_typed_errors() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                FidelityModel::new(bad, 100_000.0),
+                Err(TranspileError::InvalidFidelity {
+                    what: "iswap_ns",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                FidelityModel::new(100.0, bad),
+                Err(TranspileError::InvalidFidelity { what: "t1_ns", .. })
+            ));
+        }
+        let ok = FidelityModel::new(100.0, 100_000.0).unwrap();
+        assert_eq!(ok, FidelityModel::paper());
+        let msg = FidelityModel::new(100.0, -1.0).unwrap_err().to_string();
+        assert!(msg.contains("t1_ns") && msg.contains("-1"), "{msg}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod consolidate;
 pub mod fidelity;
 pub mod routing;
@@ -80,13 +81,31 @@ pub enum TranspileError {
     /// A topology constructor was given inconsistent parameters.
     InvalidTopology(String),
     /// The router failed to make progress on a gate (a topology whose
-    /// SWAP heuristic oscillates; never expected on the zoo topologies).
+    /// SWAP heuristic oscillates, or a noise-aware route on a device whose
+    /// healthy edges no longer connect the operands).
     RoutingStuck {
         /// Index of the gate the router could not legalize.
         gate_index: usize,
     },
     /// A consolidated block failed Weyl-coordinate extraction.
     Weyl(String),
+    /// A fidelity-model timing parameter was zero, negative or non-finite.
+    InvalidFidelity {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A calibration generator was given inconsistent parameters.
+    InvalidCalibration(String),
+    /// A job's calibration was built for a different device size than its
+    /// coupling map.
+    CalibrationMismatch {
+        /// Qubits in the calibration.
+        cal: usize,
+        /// Qubits in the coupling map.
+        device: usize,
+    },
 }
 
 impl std::fmt::Display for TranspileError {
@@ -106,6 +125,18 @@ impl std::fmt::Display for TranspileError {
                 write!(f, "router failed to converge on gate {gate_index}")
             }
             TranspileError::Weyl(e) => write!(f, "Weyl extraction failed: {e}"),
+            TranspileError::InvalidFidelity { what, value } => {
+                write!(f, "fidelity model rejects {what} = {value}")
+            }
+            TranspileError::InvalidCalibration(why) => {
+                write!(f, "invalid calibration: {why}")
+            }
+            TranspileError::CalibrationMismatch { cal, device } => {
+                write!(
+                    f,
+                    "calibration covers {cal} qubits but the device has {device}"
+                )
+            }
         }
     }
 }

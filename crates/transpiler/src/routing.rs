@@ -1,11 +1,21 @@
-//! SWAP routing onto a coupling topology.
+//! SWAP routing onto a coupling topology, optionally noise-aware.
 //!
 //! A lookahead-greedy router in the SABRE spirit: whenever the next 2Q gate
 //! acts on non-adjacent physical qubits, candidate SWAPs around either
 //! operand are scored by the total distance of a window of upcoming 2Q
 //! gates, and the best (random tie-break) is inserted. Deterministic for a
 //! fixed seed; the paper takes the best of 10 routing runs.
+//!
+//! With a [`Calibration`] ([`route_calibrated`]) the router becomes
+//! **noise-aware**: distances are replaced by effective distances over a
+//! weighted graph where crossing edge `e` costs
+//! `1 + noise_weight · (−ln(1 − error(e)))`, and edges whose error rate
+//! reaches [`RouterOptions::dead_edge_threshold`] are excluded outright —
+//! no SWAP or gate is ever scheduled on a dead edge. On a uniform
+//! calibration every weight is exactly `1.0`, and the noise-aware router
+//! reproduces the noise-blind router bit for bit.
 
+use crate::calibration::Calibration;
 use crate::topology::CouplingMap;
 use crate::TranspileError;
 use paradrive_circuit::{Circuit, Op, TwoQ};
@@ -19,6 +29,13 @@ pub struct RouterOptions {
     pub lookahead: usize,
     /// Decay applied to later gates in the lookahead window.
     pub decay: f64,
+    /// Weight of the per-edge log-infidelity term in noise-aware
+    /// effective distances (ignored without a calibration).
+    pub noise_weight: f64,
+    /// Error rate at or above which a noise-aware route treats an edge as
+    /// dead: never crossed, never hosts a gate (ignored without a
+    /// calibration).
+    pub dead_edge_threshold: f64,
 }
 
 impl Default for RouterOptions {
@@ -26,6 +43,92 @@ impl Default for RouterOptions {
         RouterOptions {
             lookahead: 8,
             decay: 0.7,
+            noise_weight: 4.0,
+            dead_edge_threshold: 0.1,
+        }
+    }
+}
+
+/// The noise-aware router's precomputed view of one calibrated device:
+/// which edges are usable and the all-pairs effective distances over the
+/// healthy weighted graph.
+///
+/// Construction costs an all-pairs shortest-path solve; it is a pure
+/// function of `(map, calibration, options)`, so batch drivers build one
+/// oracle per job and share it across every routing seed
+/// ([`route_with_oracle`]) instead of paying the solve per seed.
+#[derive(Debug, Clone)]
+pub struct NoiseOracle {
+    usable: Vec<Vec<bool>>,
+    dist: Vec<Vec<f64>>,
+}
+
+impl NoiseOracle {
+    /// Builds the healthy-edge set and effective distance matrix for a
+    /// calibrated device.
+    pub fn new(map: &CouplingMap, cal: &Calibration, options: RouterOptions) -> Self {
+        let n = map.n_qubits();
+        let mut usable = vec![vec![false; n]; n];
+        let mut weight = vec![vec![f64::INFINITY; n]; n];
+        for (a, row) in usable.iter_mut().enumerate() {
+            for (b, slot) in row.iter_mut().enumerate() {
+                if map.are_adjacent(a, b) && cal.edge(a, b).error_rate < options.dead_edge_threshold
+                {
+                    *slot = true;
+                    weight[a][b] = 1.0 + options.noise_weight * cal.edge_noise_cost(a, b);
+                }
+            }
+        }
+        // All-pairs Dijkstra over the healthy weighted graph (devices are
+        // tens of qubits, so the O(n³) dense form is plenty). Unreachable
+        // pairs stay at infinity and surface as `RoutingStuck`.
+        let mut dist = vec![vec![f64::INFINITY; n]; n];
+        for s in 0..n {
+            let d = &mut dist[s];
+            d[s] = 0.0;
+            let mut done = vec![false; n];
+            for _ in 0..n {
+                let Some(u) = (0..n)
+                    .filter(|&u| !done[u] && d[u].is_finite())
+                    .min_by(|&x, &y| d[x].partial_cmp(&d[y]).expect("finite distances"))
+                else {
+                    break;
+                };
+                done[u] = true;
+                for &v in map.neighbors(u) {
+                    if usable[u][v] && d[u] + weight[u][v] < d[v] {
+                        d[v] = d[u] + weight[u][v];
+                    }
+                }
+            }
+        }
+        NoiseOracle { usable, dist }
+    }
+}
+
+/// The distance/adjacency oracle the scoring loop runs against: plain BFS
+/// distances when noise-blind, effective healthy-graph distances when
+/// noise-aware.
+struct View<'a> {
+    map: &'a CouplingMap,
+    noise: Option<&'a NoiseOracle>,
+}
+
+impl View<'_> {
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        match &self.noise {
+            // Uniform calibrations yield unit weights, so these are the
+            // same integer-valued floats BFS would produce.
+            Some(v) => v.dist[a][b],
+            None => self.map.distance(a, b) as f64,
+        }
+    }
+
+    /// True when a gate (or SWAP) may execute on the physical pair.
+    fn usable(&self, a: usize, b: usize) -> bool {
+        match &self.noise {
+            Some(v) => v.usable[a][b],
+            None => self.map.are_adjacent(a, b),
         }
     }
 }
@@ -65,12 +168,52 @@ pub fn route_with_options(
     seed: u64,
     options: RouterOptions,
 ) -> Result<Routed, TranspileError> {
+    route_calibrated(circuit, map, None, seed, options)
+}
+
+/// Routes noise-aware when a [`Calibration`] is supplied: SWAP scoring
+/// uses effective distances that penalize high-error edges, and edges at
+/// or above [`RouterOptions::dead_edge_threshold`] never host a gate. With
+/// `None` (or a uniform calibration) this is exactly the noise-blind
+/// router, bit for bit.
+///
+/// # Errors
+///
+/// As [`route_with_options`]; additionally returns
+/// [`TranspileError::RoutingStuck`] when the healthy (non-dead) edges no
+/// longer connect a gate's operands.
+pub fn route_calibrated(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    calibration: Option<&Calibration>,
+    seed: u64,
+    options: RouterOptions,
+) -> Result<Routed, TranspileError> {
+    let oracle = calibration.map(|cal| NoiseOracle::new(map, cal, options));
+    route_with_oracle(circuit, map, oracle.as_ref(), seed, options)
+}
+
+/// [`route_calibrated`] with a prebuilt [`NoiseOracle`], for callers that
+/// route the same calibrated device many times (one oracle per job, many
+/// seeds).
+///
+/// # Errors
+///
+/// As [`route_calibrated`].
+pub fn route_with_oracle(
+    circuit: &Circuit,
+    map: &CouplingMap,
+    oracle: Option<&NoiseOracle>,
+    seed: u64,
+    options: RouterOptions,
+) -> Result<Routed, TranspileError> {
     if circuit.n_qubits() > map.n_qubits() {
         return Err(TranspileError::TooManyQubits {
             circuit: circuit.n_qubits(),
             device: map.n_qubits(),
         });
     }
+    let view = View { map, noise: oracle };
     let mut rng = StdRng::seed_from_u64(seed);
     let n_phys = map.n_qubits();
     // logical -> physical (trivial initial layout).
@@ -97,22 +240,26 @@ pub fn route_with_options(
                 out.push_1q(*gate, layout[*q]);
             }
             Op::TwoQ { gate, a, b } => {
-                // Insert SWAPs until the operands are adjacent.
+                // Insert SWAPs until the operands share a usable edge.
                 let mut guard = 0;
-                while !map.are_adjacent(layout[*a], layout[*b]) {
+                while !view.usable(layout[*a], layout[*b]) {
                     guard += 1;
                     if guard > 4 * n_phys {
                         return Err(TranspileError::RoutingStuck { gate_index: op_idx });
                     }
-                    let swap = best_swap(
+                    let Some(swap) = best_swap(
                         circuit,
-                        map,
+                        &view,
                         &layout,
                         &two_q_indices[next_2q_cursor..],
                         (*a, *b),
                         options,
                         &mut rng,
-                    );
+                    ) else {
+                        // Every candidate edge is dead: the healthy graph
+                        // cannot move the operands together.
+                        return Err(TranspileError::RoutingStuck { gate_index: op_idx });
+                    };
                     out.push_2q(TwoQ::Swap, swap.0, swap.1);
                     swaps_inserted += 1;
                     // Update layout: find logicals at those physicals.
@@ -133,25 +280,26 @@ pub fn route_with_options(
     })
 }
 
-/// Scores candidate SWAPs adjacent to the two operands of the blocked gate
-/// and returns the best `(physical, physical)` pair.
+/// Scores candidate SWAPs on usable edges adjacent to the two operands of
+/// the blocked gate and returns the best `(physical, physical)` pair, or
+/// `None` when every adjacent edge is dead.
 fn best_swap(
     circuit: &Circuit,
-    map: &CouplingMap,
+    view: &View<'_>,
     layout: &[usize],
     upcoming: &[usize],
     blocked: (usize, usize),
     options: RouterOptions,
     rng: &mut StdRng,
-) -> (usize, usize) {
+) -> Option<(usize, usize)> {
     let (la, lb) = blocked;
     let pa = layout[la];
     let pb = layout[lb];
     let mut candidates: Vec<(usize, usize)> = Vec::new();
     for &p in [pa, pb].iter() {
-        for &nb in map.neighbors(p) {
+        for &nb in view.map.neighbors(p) {
             let c = (p.min(nb), p.max(nb));
-            if !candidates.contains(&c) {
+            if view.usable(c.0, c.1) && !candidates.contains(&c) {
                 candidates.push(c);
             }
         }
@@ -169,11 +317,11 @@ fn best_swap(
         }
         // Primary term: the blocked gate's distance; lookahead term: the
         // decayed distances of upcoming 2Q gates.
-        let mut score = map.distance(scratch[la], scratch[lb]) as f64 * 2.0;
+        let mut score = view.distance(scratch[la], scratch[lb]) * 2.0;
         let mut weight = 1.0;
         for &gi in upcoming.iter().take(options.lookahead) {
             if let Op::TwoQ { a, b, .. } = &circuit.ops()[gi] {
-                score += weight * map.distance(scratch[*a], scratch[*b]) as f64;
+                score += weight * view.distance(scratch[*a], scratch[*b]);
                 weight *= options.decay;
             }
         }
@@ -184,7 +332,10 @@ fn best_swap(
             best.push((x, y));
         }
     }
-    best[rng.gen_range(0..best.len())]
+    if best.is_empty() || !best_score.is_finite() {
+        return None;
+    }
+    Some(best[rng.gen_range(0..best.len())])
 }
 
 /// Routes with `n_seeds` different seeds and returns the run with the
@@ -292,5 +443,107 @@ mod tests {
         let c = benchmarks::ghz(16);
         let r = route(&c, &map, 0).unwrap();
         assert_eq!(r.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn uniform_calibration_routes_identically_to_blind() {
+        use crate::calibration::Calibration;
+        use crate::fidelity::FidelityModel;
+        let map = CouplingMap::grid(4, 4);
+        let cal = Calibration::uniform(&map, FidelityModel::paper());
+        let c = benchmarks::qft(16);
+        for seed in 0..4 {
+            let blind = route(&c, &map, seed).unwrap();
+            let aware =
+                route_calibrated(&c, &map, Some(&cal), seed, RouterOptions::default()).unwrap();
+            assert_eq!(blind.circuit, aware.circuit, "seed {seed}");
+            assert_eq!(blind.swaps_inserted, aware.swaps_inserted);
+            assert_eq!(blind.layout, aware.layout);
+        }
+    }
+
+    /// The planted-dead-edge regression: noise-aware routing never touches
+    /// an edge whose error rate crosses the dead threshold, while the
+    /// noise-blind router routes straight through it.
+    #[test]
+    fn noise_aware_avoids_planted_dead_edge() {
+        use crate::calibration::{Calibration, EdgeCalibration};
+        use crate::fidelity::FidelityModel;
+        let map = CouplingMap::grid(3, 3);
+        // Kill the (1,2) edge in the top row; plenty of healthy detours.
+        let dead = (1usize, 2usize);
+        let cal = Calibration::uniform(&map, FidelityModel::paper()).with_edge(
+            dead.0,
+            dead.1,
+            EdgeCalibration {
+                duration_factor: 3.0,
+                error_rate: 0.25,
+            },
+        );
+        let uses_dead = |r: &Routed| {
+            r.circuit.ops().iter().any(|op| match op {
+                Op::TwoQ { a, b, .. } => (*a.min(b), *a.max(b)) == dead,
+                _ => false,
+            })
+        };
+        // A gate between the dead edge's endpoints plus traffic across it.
+        let mut c = Circuit::new(9);
+        c.push_2q(TwoQ::Cx, 1, 2);
+        c.push_2q(TwoQ::Cx, 0, 2);
+        c.push_2q(TwoQ::Cx, 2, 6);
+        let blind_hits = (0..6)
+            .filter(|&s| uses_dead(&route(&c, &map, s).unwrap()))
+            .count();
+        assert!(blind_hits > 0, "blind routing should cross the dead edge");
+        for seed in 0..6 {
+            let aware =
+                route_calibrated(&c, &map, Some(&cal), seed, RouterOptions::default()).unwrap();
+            assert!(!uses_dead(&aware), "seed {seed} touched the dead edge");
+            // Still a legal routing: every 2Q op on a coupled pair.
+            assert!(all_2q_adjacent(&aware.circuit, &map));
+        }
+    }
+
+    /// High-but-not-dead error rates are penalized softly: the router
+    /// prefers clean detours but may still cross when forced.
+    #[test]
+    fn degraded_edges_are_soft_penalties() {
+        use crate::calibration::{Calibration, EdgeCalibration};
+        use crate::fidelity::FidelityModel;
+        // On a line there is no detour: routing must cross the degraded
+        // edge and still succeeds.
+        let map = CouplingMap::line(4);
+        let cal = Calibration::uniform(&map, FidelityModel::paper()).with_edge(
+            1,
+            2,
+            EdgeCalibration {
+                duration_factor: 2.0,
+                error_rate: 0.05,
+            },
+        );
+        let mut c = Circuit::new(4);
+        c.push_2q(TwoQ::Cx, 0, 3);
+        let r = route_calibrated(&c, &map, Some(&cal), 0, RouterOptions::default()).unwrap();
+        assert!(all_2q_adjacent(&r.circuit, &map));
+    }
+
+    #[test]
+    fn fully_dead_cut_is_routing_stuck() {
+        use crate::calibration::{Calibration, EdgeCalibration};
+        use crate::fidelity::FidelityModel;
+        // Killing the only edge of a 2-qubit device leaves no healthy path.
+        let map = CouplingMap::line(2);
+        let cal = Calibration::uniform(&map, FidelityModel::paper()).with_edge(
+            0,
+            1,
+            EdgeCalibration {
+                duration_factor: 1.0,
+                error_rate: 0.9,
+            },
+        );
+        let mut c = Circuit::new(2);
+        c.push_2q(TwoQ::Cx, 0, 1);
+        let r = route_calibrated(&c, &map, Some(&cal), 0, RouterOptions::default());
+        assert!(matches!(r, Err(TranspileError::RoutingStuck { .. })));
     }
 }

@@ -7,6 +7,7 @@
 //! the second merge into one (the paper notes this merging makes measured
 //! improvements exceed the per-gate predictions). Virtual-Z runs are free.
 
+use crate::calibration::Calibration;
 use crate::consolidate::Item;
 use crate::{CostModel, GateCost};
 
@@ -61,7 +62,34 @@ pub fn schedule_with(
     n_qubits: usize,
     options: ScheduleOptions,
 ) -> Schedule {
+    schedule_impl(items, model, n_qubits, options, None)
+}
+
+/// Schedules under a device [`Calibration`]: each block's 2Q pulse time is
+/// scaled by its edge's duration factor, and 1Q layers by the slower
+/// operand's per-qubit factor. A uniform calibration has every factor at
+/// exactly `1.0`, so the result is bit-identical to [`schedule_with`].
+pub fn schedule_with_calibration(
+    items: &[Item],
+    model: &dyn CostModel,
+    n_qubits: usize,
+    options: ScheduleOptions,
+    calibration: &Calibration,
+) -> Schedule {
+    schedule_impl(items, model, n_qubits, options, Some(calibration))
+}
+
+fn schedule_impl(
+    items: &[Item],
+    model: &dyn CostModel,
+    n_qubits: usize,
+    options: ScheduleOptions,
+    calibration: Option<&Calibration>,
+) -> Schedule {
     let d1q = model.d_1q();
+    let qubit_factor = |q: usize| calibration.map_or(1.0, |c| c.qubit(q).d1q_factor);
+    let edge_factor =
+        |a: usize, b: usize| calibration.map_or(1.0, |c| c.edge(a, b).duration_factor);
     let mut ready = vec![0.0_f64; n_qubits];
     let mut ends_with_1q = vec![false; n_qubits];
     let mut total_two_q = 0.0;
@@ -78,8 +106,9 @@ pub fn schedule_with(
                 if ends_with_1q[*q] && options.merge_1q_layers {
                     continue; // merges with the preceding layer
                 }
-                ready[*q] += d1q;
-                total_one_q += d1q;
+                let layer = d1q * qubit_factor(*q);
+                ready[*q] += layer;
+                total_one_q += layer;
                 ends_with_1q[*q] = true;
             }
             Item::Block { a, b, point, .. } => {
@@ -91,13 +120,18 @@ pub fn schedule_with(
                 if options.merge_1q_layers && layers > 0.0 && ends_with_1q[*a] && ends_with_1q[*b] {
                     layers -= 1.0; // merge the leading exterior layer
                 }
-                let dur = two_q_time + layers * d1q;
+                // Calibrated devices run this block at the edge's speed and
+                // its slower qubit's 1Q cadence; uniform factors are 1.0
+                // exactly, leaving the homogeneous arithmetic untouched.
+                let two_q = two_q_time * edge_factor(*a, *b);
+                let layer = d1q * qubit_factor(*a).max(qubit_factor(*b));
+                let dur = two_q + layers * layer;
                 let start = ready[*a].max(ready[*b]);
                 let end = start + dur;
                 ready[*a] = end;
                 ready[*b] = end;
-                total_two_q += two_q_time;
-                total_one_q += layers * d1q;
+                total_two_q += two_q;
+                total_one_q += layers * layer;
                 let trailing_layer = one_q_layers > 0;
                 ends_with_1q[*a] = trailing_layer;
                 ends_with_1q[*b] = trailing_layer;
@@ -253,6 +287,68 @@ mod tests {
         assert_eq!(s.qubit_finish[2], 0.0);
         assert!((s.total_two_q_time - 1.0).abs() < 1e-12);
         assert!((s.total_one_q_time - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_calibration_schedules_bit_identically() {
+        use crate::calibration::Calibration;
+        use crate::fidelity::FidelityModel;
+        use crate::topology::CouplingMap;
+        let map = CouplingMap::grid(2, 2);
+        let cal = Calibration::uniform(&map, FidelityModel::paper());
+        let items = vec![
+            block(0, 1, WeylPoint::CNOT),
+            block(1, 2, WeylPoint::SWAP),
+            block(0, 1, WeylPoint::CNOT),
+        ];
+        let plain = schedule(&items, &Toy, 4);
+        let calibrated =
+            schedule_with_calibration(&items, &Toy, 4, ScheduleOptions::default(), &cal);
+        assert_eq!(plain.duration.to_bits(), calibrated.duration.to_bits());
+        assert_eq!(
+            plain.total_two_q_time.to_bits(),
+            calibrated.total_two_q_time.to_bits()
+        );
+        assert_eq!(
+            plain.total_one_q_time.to_bits(),
+            calibrated.total_one_q_time.to_bits()
+        );
+        for (p, c) in plain.qubit_finish.iter().zip(&calibrated.qubit_finish) {
+            assert_eq!(p.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn calibrated_edge_and_qubit_factors_slow_blocks() {
+        use crate::calibration::{Calibration, EdgeCalibration, QubitCalibration};
+        use crate::fidelity::FidelityModel;
+        use crate::topology::CouplingMap;
+        let map = CouplingMap::line(2);
+        let cal = Calibration::uniform(&map, FidelityModel::paper())
+            .with_edge(
+                0,
+                1,
+                EdgeCalibration {
+                    duration_factor: 2.0,
+                    error_rate: 0.0,
+                },
+            )
+            .with_qubit(
+                1,
+                QubitCalibration {
+                    t1_ns: 100_000.0,
+                    t2_ns: f64::INFINITY,
+                    d1q_factor: 3.0,
+                },
+            );
+        let items = vec![block(0, 1, WeylPoint::CNOT)];
+        let s = schedule_with_calibration(&items, &Toy, 2, ScheduleOptions::default(), &cal);
+        // CNOT under Toy: 1.0 2Q time × 2.0, two layers at 0.25 × max(1, 3).
+        assert!(
+            (s.duration - (2.0 + 2.0 * 0.75)).abs() < 1e-12,
+            "{}",
+            s.duration
+        );
     }
 
     #[test]

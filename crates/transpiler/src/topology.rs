@@ -249,6 +249,27 @@ impl CouplingMap {
         self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
     }
 
+    /// Every undirected edge as a normalized `(low, high)` pair, sorted —
+    /// the deterministic iteration order seeded calibration generators
+    /// consume edges in.
+    ///
+    /// ```
+    /// use paradrive_transpiler::topology::CouplingMap;
+    ///
+    /// let line = CouplingMap::line(4);
+    /// assert_eq!(line.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    /// ```
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = self
+            .adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
     /// Largest vertex degree (0 for a single isolated qubit).
     pub fn max_degree(&self) -> usize {
         self.adjacency.iter().map(Vec::len).max().unwrap_or(0)

@@ -17,7 +17,7 @@
 //! | [`coverage`] | template coverage sets, `K`/`D` decomposition scores |
 //! | [`circuit`] | circuit IR and the 16-qubit benchmark suite |
 //! | [`sim`] | exact statevector simulation and Quantum-Volume analysis |
-//! | [`transpiler`] | lattice routing, consolidation, scheduling, fidelity |
+//! | [`transpiler`] | topology zoo, device calibration, (noise-aware) routing, consolidation, scheduling, fidelity |
 //! | [`core`] | baseline vs parallel-drive cost models, codesign, the full flow |
 //! | [`engine`] | batched multi-threaded transpilation with a decomposition cache |
 //!
