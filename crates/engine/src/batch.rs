@@ -14,6 +14,7 @@ use paradrive_circuit::Circuit;
 use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
+use paradrive_verify::{VerifyConfig, VerifyLevel};
 use std::sync::Arc;
 
 /// One unit of batch work: a named logical circuit to push through the
@@ -215,10 +216,21 @@ pub struct EngineConfig {
     /// penalizes high-error edges and dead edges are never used. Off by
     /// default — the noise-blind scoring is the baseline costing.
     pub noise_aware: bool,
+    /// Semantic verification level: each job's consolidated output is
+    /// replayed through the equivalence oracles on the worker that
+    /// finishes it (see [`paradrive_verify`]). `Off` by default.
+    pub verify: VerifyLevel,
+    /// Random product-state inputs per circuit for the Monte-Carlo
+    /// verification oracle.
+    pub verify_samples: u32,
+    /// Base seed for the Monte-Carlo verification inputs; verdicts are a
+    /// pure function of `(job, seed)`, never of the thread count.
+    pub verify_seed: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let verify_defaults = VerifyConfig::default();
         EngineConfig {
             threads: 0,
             routing_seeds: 10,
@@ -228,6 +240,9 @@ impl Default for EngineConfig {
             costing: Costing::default(),
             keep_routed: false,
             noise_aware: false,
+            verify: VerifyLevel::Off,
+            verify_samples: verify_defaults.samples,
+            verify_seed: verify_defaults.seed,
         }
     }
 }
@@ -267,6 +282,32 @@ impl EngineConfig {
     pub fn noise_aware(mut self, on: bool) -> Self {
         self.noise_aware = on;
         self
+    }
+
+    /// Sets the semantic verification level.
+    pub fn verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
+        self
+    }
+
+    /// Sets the Monte-Carlo verification sample count.
+    pub fn verify_samples(mut self, samples: u32) -> Self {
+        self.verify_samples = samples;
+        self
+    }
+
+    /// Sets the Monte-Carlo verification base seed.
+    pub fn verify_seed(mut self, seed: u64) -> Self {
+        self.verify_seed = seed;
+        self
+    }
+
+    /// The per-job verification configuration this engine config implies.
+    pub fn verify_config(&self) -> VerifyConfig {
+        VerifyConfig::default()
+            .level(self.verify)
+            .samples(self.verify_samples)
+            .seed(self.verify_seed)
     }
 
     /// The effective worker count for this configuration.

@@ -26,6 +26,7 @@ use paradrive_transpiler::consolidate::consolidate;
 use paradrive_transpiler::routing::{route_with_oracle, NoiseOracle, Routed, RouterOptions};
 use paradrive_transpiler::TranspileError;
 use paradrive_transpiler::{CostModel, GateCost};
+use paradrive_verify::{verify, Physical, Verification, VerifyLevel};
 use paradrive_weyl::WeylPoint;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -115,6 +116,17 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         baseline_cache: caches.as_ref().map(|(b, _)| b.stats()),
         optimized_cache: caches.as_ref().map(|(_, o)| o.stats()),
     })
+}
+
+/// FNV-1a over bytes — a stable, dependency-free hash for deriving each
+/// job's verification seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The optimized-side cost model, chosen by [`Costing`].
@@ -248,6 +260,34 @@ impl Shared<'_> {
 
         let spec = &self.batch.jobs()[job];
         let map = self.batch.map_for(job);
+
+        // Semantic verification replays the *consolidated* stream — each
+        // two-qubit block as one fused 4×4 apply — against the logical
+        // circuit under the routed output permutation, so a failure in
+        // either routing or consolidation is caught. The Monte-Carlo seed
+        // mixes in the job's name, so every job is probed with its own
+        // input states (still a pure function of the batch, never of the
+        // thread count). Oracle errors (an engine invariant broken, not a
+        // bad circuit) become a failing `Verification::Error` verdict
+        // rather than aborting the batch — or silently passing.
+        let verification = (self.config.verify != VerifyLevel::Off).then(|| {
+            let cfg = self
+                .config
+                .verify_config()
+                .seed(self.config.verify_seed ^ fnv1a(spec.name.as_bytes()));
+            verify(
+                &spec.circuit,
+                &Physical::Consolidated {
+                    items: &items,
+                    n_qubits: map.n_qubits(),
+                },
+                &best.layout,
+                &cfg,
+            )
+            .unwrap_or_else(|e| Verification::Error {
+                reason: e.to_string(),
+            })
+        });
         let result = match self.caches {
             Some((bcache, ocache)) => evaluate_with_calibration(
                 &spec.name,
@@ -278,6 +318,7 @@ impl Shared<'_> {
             topology: map.label().to_string(),
             calibration: cal.map_or_else(|| "uniform".to_string(), |c| c.label().to_string()),
             routed: self.config.keep_routed.then_some(best.circuit),
+            verification,
             route_time: Duration::from_nanos(self.route_nanos[job].load(Ordering::Relaxed)),
             pipeline_time: t0.elapsed(),
         })
@@ -335,6 +376,7 @@ mod tests {
                 s.ft_improvement_pct.to_bits()
             );
             assert_eq!(x.routed, y.routed);
+            assert_eq!(x.verification, y.verification);
         }
     }
 
@@ -531,6 +573,51 @@ mod tests {
         let EngineError::Job { job, source } = err;
         assert_eq!(job, "sneaky");
         assert!(matches!(source, TranspileError::InvalidCalibration(_)));
+    }
+
+    #[test]
+    fn verification_verdicts_pass_and_are_thread_deterministic() {
+        let batch = small_batch();
+        let base = EngineConfig::default()
+            .routing_seeds(2)
+            .verify(VerifyLevel::Exact);
+        let one = run_batch(&batch, &base.threads(1)).unwrap();
+        let four = run_batch(&batch, &base.threads(4)).unwrap();
+        results_identical(&one, &four);
+        for c in &one.circuits {
+            let v = c.verification.as_ref().expect("verification on");
+            assert!(!v.failed(), "{}: {v}", c.result.name);
+            // All of grid3x3 fits the dense oracle: strictly exact.
+            assert_eq!(v.method(), "exact", "{}: {v}", c.result.name);
+        }
+        let summary = one.verification_summary().unwrap();
+        assert!(summary.all_passed());
+        assert_eq!(summary.exact, 3);
+        assert!(summary.min_fidelity > 1.0 - 1e-9);
+        // Off by default: no verdicts, no summary.
+        let off = run_batch(&batch, &EngineConfig::default().routing_seeds(1)).unwrap();
+        assert!(off.circuits.iter().all(|c| c.verification.is_none()));
+        assert!(off.verification_summary().is_none());
+    }
+
+    #[test]
+    fn sampled_verification_handles_wide_devices() {
+        use std::sync::Arc;
+        let grid = Arc::new(CouplingMap::grid(4, 4));
+        let mut batch = Batch::with_shared(Arc::clone(&grid));
+        batch.push("qft12", benchmarks::qft(12));
+        let report = run_batch(
+            &batch,
+            &EngineConfig::default()
+                .routing_seeds(2)
+                .threads(2)
+                .verify(VerifyLevel::Sampled)
+                .verify_samples(3),
+        )
+        .unwrap();
+        let v = report.circuits[0].verification.as_ref().unwrap();
+        assert_eq!(v.method(), "sampled", "{v}");
+        assert!(!v.failed(), "{v}");
     }
 
     #[test]

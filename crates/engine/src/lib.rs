@@ -31,7 +31,13 @@
 //!   durations, fidelity uses per-wire lifetimes and per-edge gate
 //!   errors, and [`EngineConfig::noise_aware`] routes around high-error
 //!   edges. A uniform calibration reproduces the legacy homogeneous
-//!   pipeline bit for bit.
+//!   pipeline bit for bit;
+//! - [`EngineConfig::verify`] turns every batch into a self-checking
+//!   experiment: each job's consolidated output is replayed through the
+//!   [`paradrive_verify`] equivalence oracles (exact up-to-permutation on
+//!   small supports, seeded Monte-Carlo beyond), with verdicts surfaced
+//!   per circuit ([`CircuitReport::verification`]) and batch-wide
+//!   ([`EngineReport::verification_summary`]).
 //!
 //! # Example
 //!
@@ -59,7 +65,10 @@ mod report;
 pub use batch::{Batch, Costing, EngineConfig, Job};
 pub use cache::{CacheStats, CachedCostModel, DecompositionCache};
 pub use engine::run_batch;
-pub use report::{CalibrationSummary, CircuitReport, EngineReport, TopologySummary};
+pub use paradrive_verify::{Verification, VerifyLevel};
+pub use report::{
+    CalibrationSummary, CircuitReport, EngineReport, TopologySummary, VerificationSummary,
+};
 
 use paradrive_transpiler::TranspileError;
 

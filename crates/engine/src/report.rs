@@ -3,6 +3,7 @@
 use crate::cache::CacheStats;
 use paradrive_circuit::Circuit;
 use paradrive_core::flow::BenchmarkResult;
+use paradrive_verify::Verification;
 use std::fmt;
 use std::time::Duration;
 
@@ -21,6 +22,10 @@ pub struct CircuitReport {
     /// The best routed physical circuit (only when
     /// [`crate::EngineConfig::keep_routed`] is set).
     pub routed: Option<Circuit>,
+    /// The semantic-equivalence verdict for this job (`None` with
+    /// [`crate::EngineConfig::verify`] off). A pure function of the job
+    /// and config — identical at any thread count.
+    pub verification: Option<Verification>,
     /// Wall time spent routing this circuit, summed over its seeds
     /// (seeds may have run on different workers concurrently).
     pub route_time: Duration,
@@ -136,6 +141,86 @@ impl EngineReport {
         }
         groups
     }
+
+    /// Batch-wide verification rollup, or `None` when no job carried a
+    /// verdict (verification off).
+    pub fn verification_summary(&self) -> Option<VerificationSummary> {
+        let mut summary = VerificationSummary {
+            exact: 0,
+            sampled: 0,
+            skipped: 0,
+            errors: 0,
+            failed: 0,
+            min_fidelity: f64::INFINITY,
+        };
+        let mut any = false;
+        for v in self.circuits.iter().filter_map(|c| c.verification.as_ref()) {
+            any = true;
+            match v {
+                Verification::Exact { .. } => summary.exact += 1,
+                Verification::Sampled { .. } => summary.sampled += 1,
+                Verification::Skipped { .. } => summary.skipped += 1,
+                Verification::Error { .. } => summary.errors += 1,
+            }
+            if v.failed() {
+                summary.failed += 1;
+            }
+            if let Some(f) = v.fidelity() {
+                summary.min_fidelity = summary.min_fidelity.min(f);
+            }
+        }
+        if !any {
+            return None;
+        }
+        if summary.min_fidelity == f64::INFINITY {
+            summary.min_fidelity = f64::NAN;
+        }
+        Some(summary)
+    }
+}
+
+/// Batch-wide verification counters (see
+/// [`EngineReport::verification_summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationSummary {
+    /// Jobs verified by the exact unitary oracle.
+    pub exact: usize,
+    /// Jobs verified by the Monte-Carlo oracle.
+    pub sampled: usize,
+    /// Jobs whose verification was skipped (too wide to simulate) — a
+    /// policy outcome, not a failure.
+    pub skipped: usize,
+    /// Jobs whose oracle could not run at all (malformed inputs — a
+    /// broken caller invariant). Always counted in `failed` too.
+    pub errors: usize,
+    /// Jobs whose oracle rejected the equivalence or errored out.
+    pub failed: usize,
+    /// Worst fidelity any oracle measured (`NaN` when every job skipped).
+    pub min_fidelity: f64,
+}
+
+impl VerificationSummary {
+    /// True when every verified job passed its oracle.
+    pub fn all_passed(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+impl fmt::Display for VerificationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verify: {} exact, {} sampled, {} skipped, {} failed",
+            self.exact, self.sampled, self.skipped, self.failed
+        )?;
+        if self.errors > 0 {
+            write!(f, " ({} oracle errors)", self.errors)?;
+        }
+        if !self.min_fidelity.is_nan() {
+            write!(f, ", min F {:.9}", self.min_fidelity)?;
+        }
+        Ok(())
+    }
 }
 
 /// Aggregate outcome for every job sharing one coupling topology.
@@ -189,7 +274,7 @@ impl fmt::Display for EngineReport {
         )?;
         for c in &self.circuits {
             let r = &c.result;
-            writeln!(
+            write!(
                 f,
                 "{:<12} {:<16} {:<12} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>9.4} {:>8.1}ms",
                 r.name,
@@ -203,6 +288,10 @@ impl fmt::Display for EngineReport {
                 r.optimized_total_fidelity,
                 (c.route_time + c.pipeline_time).as_secs_f64() * 1e3,
             )?;
+            match &c.verification {
+                Some(v) => writeln!(f, "  {v}")?,
+                None => writeln!(f)?,
+            }
         }
         writeln!(
             f,
@@ -221,9 +310,13 @@ impl fmt::Display for EngineReport {
                 s.misses,
                 s.hit_rate().unwrap_or(0.0) * 100.0,
                 s.entries,
-            ),
-            None => writeln!(f, "cache: disabled"),
+            )?,
+            None => writeln!(f, "cache: disabled")?,
         }
+        if let Some(v) = self.verification_summary() {
+            writeln!(f, "{v}")?;
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +347,7 @@ mod tests {
                     topology: "grid4x4".to_string(),
                     calibration: "uniform".to_string(),
                     routed: None,
+                    verification: None,
                     route_time: Duration::from_millis(2),
                     pipeline_time: Duration::from_millis(3),
                 },
@@ -262,6 +356,7 @@ mod tests {
                     topology: "ring16".to_string(),
                     calibration: "hotspot2".to_string(),
                     routed: None,
+                    verification: None,
                     route_time: Duration::from_millis(1),
                     pipeline_time: Duration::from_millis(4),
                 },
@@ -299,6 +394,7 @@ mod tests {
             topology: "grid4x4".to_string(),
             calibration: "uniform".to_string(),
             routed: None,
+            verification: None,
             route_time: Duration::from_millis(1),
             pipeline_time: Duration::from_millis(1),
         });
@@ -324,6 +420,7 @@ mod tests {
             topology: "grid4x4".to_string(),
             calibration: "hotspot2".to_string(),
             routed: None,
+            verification: None,
             route_time: Duration::from_millis(1),
             pipeline_time: Duration::from_millis(1),
         });
@@ -348,6 +445,56 @@ mod tests {
         disabled.baseline_cache = None;
         disabled.optimized_cache = None;
         assert!(disabled.to_string().contains("cache: disabled"));
+    }
+
+    #[test]
+    fn verification_summary_rolls_up_and_renders() {
+        let mut r = report();
+        assert!(r.verification_summary().is_none());
+        r.circuits[0].verification = Some(Verification::Exact {
+            fidelity: 1.0,
+            columns: 16,
+            width: 4,
+            passed: true,
+        });
+        r.circuits[1].verification = Some(Verification::Sampled {
+            min_fidelity: 0.5,
+            samples: 8,
+            width: 16,
+            passed: false,
+        });
+        let s = r.verification_summary().unwrap();
+        assert_eq!((s.exact, s.sampled, s.skipped, s.failed), (1, 1, 0, 1));
+        assert!(!s.all_passed());
+        assert!((s.min_fidelity - 0.5).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("verify: 1 exact, 1 sampled, 0 skipped, 1 failed"));
+        assert!(text.contains("sampled FAIL"));
+
+        // All-skipped batches report NaN fidelity but still roll up.
+        r.circuits[0].verification = Some(Verification::Skipped {
+            reason: "off".to_string(),
+        });
+        r.circuits[1].verification = Some(Verification::Skipped {
+            reason: "off".to_string(),
+        });
+        let s = r.verification_summary().unwrap();
+        assert_eq!(s.skipped, 2);
+        assert!(s.min_fidelity.is_nan());
+        assert!(s.all_passed());
+
+        // An oracle error is a failure — a batch that asked for
+        // verification and didn't get it must not report success.
+        r.circuits[0].verification = Some(Verification::Error {
+            reason: "layout is not a permutation".to_string(),
+        });
+        let s = r.verification_summary().unwrap();
+        assert_eq!((s.errors, s.failed, s.skipped), (1, 1, 1));
+        assert!(!s.all_passed());
+        assert!(r.to_string().contains("(1 oracle errors)"));
+        assert!(r
+            .to_string()
+            .contains("ERROR (layout is not a permutation)"));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! ```text
 //! cargo run --release -p paradrive-repro --bin engine -- \
 //!     [--threads N] [--seeds N] [--no-cache] [--synth] [--suite-seed N] \
-//!     [--calibration SPEC] [--calibration-seed N] [--noise-aware] [NAME ...]
+//!     [--calibration SPEC] [--calibration-seed N] [--noise-aware] \
+//!     [--verify off|sampled|exact] [--verify-samples K] [--verify-seed N] \
+//!     [NAME ...]
 //! ```
 //!
 //! `--synth` prices general classes by per-target template synthesis (the
@@ -15,12 +17,18 @@
 //! `spread<SIGMA>`, `hotspot<K>`, `gradient<STRENGTH>`) to every job;
 //! `--noise-aware` additionally routes around its high-error edges.
 //!
+//! `--verify` makes the run self-checking: each job's consolidated output
+//! is replayed through the semantic equivalence oracles (`exact` up to the
+//! routed permutation on ≤10-qubit supports, seeded Monte-Carlo beyond,
+//! `--verify-samples` inputs per circuit) and the process exits non-zero
+//! if any job fails.
+//!
 //! Positional `NAME`s select benchmarks (case-insensitive: QV, VQE_L, GHZ,
 //! HLF, QFT, Adder, QAOA, VQE_F, Multiplier); with none given the full
 //! Table VII suite runs. `--threads 0` (the default) uses every core.
 
 use paradrive_circuit::benchmarks::standard_suite;
-use paradrive_engine::{run_batch, Batch, Costing, EngineConfig};
+use paradrive_engine::{run_batch, Batch, Costing, EngineConfig, VerifyLevel};
 use paradrive_repro::sweep::parse_calibration;
 use paradrive_transpiler::topology::CouplingMap;
 use std::process::ExitCode;
@@ -35,10 +43,14 @@ struct Args {
     calibration: Option<String>,
     calibration_seed: u64,
     noise_aware: bool,
+    verify: VerifyLevel,
+    verify_samples: u32,
+    verify_seed: u64,
     names: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = EngineConfig::default();
     let mut args = Args {
         threads: 0,
         seeds: 10,
@@ -48,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         calibration: None,
         calibration_seed: 17,
         noise_aware: false,
+        verify: VerifyLevel::Off,
+        verify_samples: defaults.verify_samples,
+        verify_seed: defaults.verify_seed,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -78,11 +93,27 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--calibration-seed: {e}"))?;
             }
             "--noise-aware" => args.noise_aware = true,
+            "--verify" => {
+                args.verify = value("--verify")?
+                    .parse()
+                    .map_err(|e| format!("--verify: {e}"))?;
+            }
+            "--verify-samples" => {
+                args.verify_samples = value("--verify-samples")?
+                    .parse()
+                    .map_err(|e| format!("--verify-samples: {e}"))?;
+            }
+            "--verify-seed" => {
+                args.verify_seed = value("--verify-seed")?
+                    .parse()
+                    .map_err(|e| format!("--verify-seed: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: engine [--threads N] [--seeds N] [--no-cache] [--synth] \
                             [--suite-seed N] [--calibration SPEC] [--calibration-seed N] \
-                            [--noise-aware] [NAME ...]"
+                            [--noise-aware] [--verify off|sampled|exact] [--verify-samples K] \
+                            [--verify-seed N] [NAME ...]"
                         .to_string(),
                 )
             }
@@ -153,9 +184,13 @@ fn main() -> ExitCode {
         .routing_seeds(args.seeds)
         .cache(args.cache)
         .costing(args.costing)
-        .noise_aware(args.noise_aware);
+        .noise_aware(args.noise_aware)
+        .verify(args.verify)
+        .verify_samples(args.verify_samples)
+        .verify_seed(args.verify_seed);
     println!(
-        "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing, {} calibration{}",
+        "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing, \
+         {} calibration{}, {} verification",
         batch.len(),
         config.workers_for(&batch),
         args.seeds,
@@ -165,18 +200,23 @@ fn main() -> ExitCode {
         } else {
             "synthesized"
         },
-        calibration
-            .as_deref()
-            .map_or("uniform", |c| c.label()),
+        calibration.as_deref().map_or("uniform", |c| c.label()),
         if args.noise_aware {
             ", noise-aware routing"
         } else {
             ""
         },
+        args.verify,
     );
     match run_batch(&batch, &config) {
         Ok(report) => {
             print!("{report}");
+            if let Some(v) = report.verification_summary() {
+                if !v.all_passed() {
+                    eprintln!("engine: {} job(s) FAILED semantic verification", v.failed);
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

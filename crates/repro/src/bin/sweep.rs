@@ -7,7 +7,7 @@
 //!     [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] [--no-cache] \
 //!     [--topologies T1,T2,..] [--benchmarks B1,B2,..] [--costings hull,synth] \
 //!     [--calibrations C1,C2,..] [--calibration-seed N] [--noise-aware] \
-//!     [--timings]
+//!     [--verify off,sampled,exact] [--timings]
 //! ```
 //!
 //! Topology names follow `grid<R>x<C>`, `line<N>`, `ring<N>`,
@@ -20,6 +20,12 @@
 //! (dead hotspot edges are never used); without it the noise-blind
 //! scoring is the baseline.
 //!
+//! `--verify` adds semantic verification as a fifth sweep axis: each
+//! level replays every cell's consolidated output through the equivalence
+//! oracles (`exact` up to the routed permutation on ≤10-qubit supports,
+//! seeded Monte-Carlo beyond) and annotates the report with the verdicts.
+//! The process exits non-zero if any cell fails verification.
+//!
 //! The report is a pure function of the sweep spec — bit-identical at any
 //! `--threads` setting. Wall-clock timings are printed only with
 //! `--timings`, kept apart so the deterministic report stays comparable
@@ -31,7 +37,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
      [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] \
-     [--calibrations C1,..] [--calibration-seed N] [--noise-aware] [--timings]";
+     [--calibrations C1,..] [--calibration-seed N] [--noise-aware] \
+     [--verify off,sampled,exact] [--timings]";
 
 fn parse_args() -> Result<(SweepSpec, bool), String> {
     let mut spec = SweepSpec::full();
@@ -101,6 +108,12 @@ fn parse_args() -> Result<(SweepSpec, bool), String> {
                     .map_err(|e| format!("--calibration-seed: {e}"))?;
             }
             "--noise-aware" => spec.noise_aware = true,
+            "--verify" => {
+                spec.verify = value("--verify")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--verify: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
             flag => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
     }
@@ -120,12 +133,13 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "sweep: {} topologies x {} benchmarks x {} costings x {} calibrations x {} suite seeds, \
-         best-of-{} routing, {} routing policy",
+        "sweep: {} topologies x {} benchmarks x {} costings x {} calibrations x {} verification \
+         levels x {} suite seeds, best-of-{} routing, {} routing policy",
         spec.topologies.len(),
         spec.benchmarks.len(),
         spec.costings.len(),
         spec.calibrations.len(),
+        spec.verify.len(),
         spec.suite_seeds.len(),
         spec.routing_seeds,
         if spec.noise_aware {
@@ -139,6 +153,16 @@ fn main() -> ExitCode {
             print!("{}", outcome.render());
             if timings {
                 print!("{}", outcome.render_timings());
+            }
+            let failed: usize = outcome
+                .runs
+                .iter()
+                .filter_map(|r| r.verification.as_ref())
+                .map(|v| v.failed)
+                .sum();
+            if failed > 0 {
+                eprintln!("sweep: {failed} cell(s) FAILED semantic verification");
+                return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
         }

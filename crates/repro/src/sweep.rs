@@ -1,5 +1,6 @@
 //! Scenario sweeps: the topology × benchmark × costing × calibration ×
-//! seed cross-product, run as one heterogeneous engine batch per costing.
+//! verification × seed cross-product, run as one heterogeneous engine
+//! batch per (costing, verification) pair.
 //!
 //! The paper's headline claims are topology-sensitive — sparse coupling
 //! maps insert more routing SWAPs, and every SWAP is a 2Q block the
@@ -11,7 +12,10 @@
 //! [`calibration scenario family`](paradrive_transpiler::calibration) is
 //! instantiated per topology from one deterministic
 //! [`SweepSpec::calibration_seed`], and [`SweepSpec::noise_aware`] routes
-//! around high-error edges.
+//! around high-error edges. Semantic verification is the fifth axis
+//! ([`SweepSpec::verify`]): each level replays every cell's consolidated
+//! output through the [`paradrive_verify`](paradrive_engine::Verification)
+//! equivalence oracles, turning the sweep into a self-checking experiment.
 //!
 //! Everything in [`SweepOutcome::render`] is a pure function of the
 //! [`SweepSpec`]: wall-clock timings are kept out of the rendered report
@@ -21,7 +25,8 @@
 
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_engine::{run_batch, Batch, CacheStats, Costing, EngineConfig};
-use paradrive_engine::{CalibrationSummary, TopologySummary};
+use paradrive_engine::{CalibrationSummary, TopologySummary, VerificationSummary};
+use paradrive_engine::{Verification, VerifyLevel};
 use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
@@ -41,6 +46,9 @@ pub struct SweepSpec {
     /// Calibration scenario names, parsed by [`parse_calibration`] and
     /// instantiated per topology.
     pub calibrations: Vec<String>,
+    /// Verification levels to sweep (one engine run per costing × level;
+    /// `Off` keeps the legacy un-verified run).
+    pub verify: Vec<VerifyLevel>,
     /// Workload seeds (one `standard_suite` instantiation each).
     pub suite_seeds: Vec<u64>,
     /// Seed for the stochastic calibration generators (`spread`,
@@ -70,6 +78,7 @@ impl SweepSpec {
             calibrations: ["uniform", "spread0.3", "hotspot2"]
                 .map(String::from)
                 .to_vec(),
+            verify: vec![VerifyLevel::Off],
             suite_seeds: vec![7],
             calibration_seed: 17,
             routing_seeds: 10,
@@ -89,6 +98,7 @@ impl SweepSpec {
             benchmarks: ["GHZ", "VQE_L"].map(String::from).to_vec(),
             costings: vec![Costing::Hull],
             calibrations: vec!["uniform".to_string()],
+            verify: vec![VerifyLevel::Off],
             suite_seeds: vec![7],
             calibration_seed: 17,
             routing_seeds: 2,
@@ -223,6 +233,11 @@ pub struct SweepCell {
     pub benchmark: String,
     /// Costing discipline label (`hull` / `synth`).
     pub costing: &'static str,
+    /// Verification level the cell ran under (`off`/`sampled`/`exact`).
+    pub verify: &'static str,
+    /// The cell's equivalence verdict (`None` with verification off). Pure
+    /// function of the spec — part of the deterministic report.
+    pub verification: Option<Verification>,
     /// Workload seed the suite was instantiated with.
     pub suite_seed: u64,
     /// Routing SWAPs inserted (best of N seeds).
@@ -247,11 +262,14 @@ pub struct SweepCell {
     pub wall: Duration,
 }
 
-/// The aggregate outcome of one engine run (one costing discipline).
+/// The aggregate outcome of one engine run (one costing discipline at one
+/// verification level).
 #[derive(Debug, Clone)]
 pub struct SweepRun {
     /// Costing discipline label.
     pub costing: &'static str,
+    /// Verification level label.
+    pub verify: &'static str,
     /// Worker threads the run used (timing-only).
     pub threads: usize,
     /// Batch wall clock (timing-only).
@@ -262,6 +280,8 @@ pub struct SweepRun {
     pub by_topology: Vec<TopologySummary>,
     /// Per-calibration rollups in submission order.
     pub by_calibration: Vec<CalibrationSummary>,
+    /// Batch-wide verification rollup (`None` with verification off).
+    pub verification: Option<VerificationSummary>,
 }
 
 /// Everything a sweep produced: per-cell rows plus per-run aggregates.
@@ -293,10 +313,12 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
         || spec.benchmarks.is_empty()
         || spec.costings.is_empty()
         || spec.calibrations.is_empty()
+        || spec.verify.is_empty()
         || spec.suite_seeds.is_empty()
     {
         return Err(
-            "sweep needs at least one topology, benchmark, costing, calibration and suite seed"
+            "sweep needs at least one topology, benchmark, costing, calibration, \
+             verification level and suite seed"
                 .into(),
         );
     }
@@ -364,49 +386,56 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
 
     let mut cells = Vec::new();
     let mut runs = Vec::new();
-    // Each costing is a full engine run, so best-of-N routing repeats per
-    // discipline; reusing routed circuits across costings would need a
-    // pre-routed entry point on the engine, which isn't worth it for a
-    // two-element costing axis (routing is dwarfed by the one-time
+    // Each (costing, verification) pair is a full engine run, so best-of-N
+    // routing repeats per run; reusing routed circuits across runs would
+    // need a pre-routed entry point on the engine, which isn't worth it
+    // for these short axes (routing is dwarfed by the one-time
     // coverage-stack / synthesis work on the heavy workloads).
     for &costing in &spec.costings {
-        let config = EngineConfig::default()
-            .threads(spec.threads)
-            .routing_seeds(spec.routing_seeds)
-            .cache(spec.cache)
-            .costing(costing)
-            .noise_aware(spec.noise_aware)
-            .keep_routed(true);
-        let report = run_batch(&batch, &config).map_err(|e| e.to_string())?;
-        for (c, (topology, calibration, benchmark, suite_seed)) in
-            report.circuits.iter().zip(meta.clone())
-        {
-            let r = &c.result;
-            cells.push(SweepCell {
-                topology,
-                calibration,
-                benchmark,
+        for &verify in &spec.verify {
+            let config = EngineConfig::default()
+                .threads(spec.threads)
+                .routing_seeds(spec.routing_seeds)
+                .cache(spec.cache)
+                .costing(costing)
+                .noise_aware(spec.noise_aware)
+                .verify(verify)
+                .keep_routed(true);
+            let report = run_batch(&batch, &config).map_err(|e| e.to_string())?;
+            for (c, (topology, calibration, benchmark, suite_seed)) in
+                report.circuits.iter().zip(meta.clone())
+            {
+                let r = &c.result;
+                cells.push(SweepCell {
+                    topology,
+                    calibration,
+                    benchmark,
+                    costing: costing_label(costing),
+                    verify: verify.label(),
+                    verification: c.verification.clone(),
+                    suite_seed,
+                    swaps: r.swaps,
+                    depth: c.routed.as_ref().map_or(0, |c| c.depth()),
+                    blocks: r.blocks,
+                    baseline_duration: r.baseline_duration,
+                    optimized_duration: r.optimized_duration,
+                    reduction_pct: r.duration_reduction_pct,
+                    ft_improvement_pct: r.ft_improvement_pct,
+                    optimized_ft: r.optimized_total_fidelity,
+                    wall: c.route_time + c.pipeline_time,
+                });
+            }
+            runs.push(SweepRun {
                 costing: costing_label(costing),
-                suite_seed,
-                swaps: r.swaps,
-                depth: c.routed.as_ref().map_or(0, |c| c.depth()),
-                blocks: r.blocks,
-                baseline_duration: r.baseline_duration,
-                optimized_duration: r.optimized_duration,
-                reduction_pct: r.duration_reduction_pct,
-                ft_improvement_pct: r.ft_improvement_pct,
-                optimized_ft: r.optimized_total_fidelity,
-                wall: c.route_time + c.pipeline_time,
+                verify: verify.label(),
+                threads: report.threads,
+                wall_clock: report.wall_clock,
+                cache: report.cache_stats(),
+                by_topology: report.by_topology(),
+                by_calibration: report.by_calibration(),
+                verification: report.verification_summary(),
             });
         }
-        runs.push(SweepRun {
-            costing: costing_label(costing),
-            threads: report.threads,
-            wall_clock: report.wall_clock,
-            cache: report.cache_stats(),
-            by_topology: report.by_topology(),
-            by_calibration: report.by_calibration(),
-        });
     }
     Ok(SweepOutcome { cells, runs })
 }
@@ -418,7 +447,15 @@ impl SweepOutcome {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for run in &self.runs {
-            let _ = writeln!(out, "== sweep ({} costing) ==", run.costing);
+            if run.verify == "off" {
+                let _ = writeln!(out, "== sweep ({} costing) ==", run.costing);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "== sweep ({} costing, {} verification) ==",
+                    run.costing, run.verify
+                );
+            }
             let _ = writeln!(
                 out,
                 "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>9}",
@@ -435,8 +472,12 @@ impl SweepOutcome {
                 "FT imp%",
                 "F[T]opt"
             );
-            for c in self.cells.iter().filter(|c| c.costing == run.costing) {
-                let _ = writeln!(
+            for c in self
+                .cells
+                .iter()
+                .filter(|c| c.costing == run.costing && c.verify == run.verify)
+            {
+                let _ = write!(
                     out,
                     "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} \
                      {:>9.2} {:>9.4}",
@@ -453,6 +494,14 @@ impl SweepOutcome {
                     c.ft_improvement_pct,
                     c.optimized_ft,
                 );
+                match &c.verification {
+                    Some(v) => {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    None => {
+                        let _ = writeln!(out);
+                    }
+                }
             }
             let _ = writeln!(out, "by topology:");
             for g in &run.by_topology {
@@ -473,6 +522,9 @@ impl SweepOutcome {
                     g.mean_reduction_pct,
                     g.mean_optimized_ft
                 );
+            }
+            if let Some(v) = &run.verification {
+                let _ = writeln!(out, "{v}");
             }
             match run.cache {
                 Some(s) => {
@@ -503,12 +555,13 @@ impl SweepOutcome {
             let slowest = self
                 .cells
                 .iter()
-                .filter(|c| c.costing == run.costing)
+                .filter(|c| c.costing == run.costing && c.verify == run.verify)
                 .max_by_key(|c| c.wall);
             let _ = write!(
                 out,
-                "[timings] {} costing: {:.1} ms on {} threads",
+                "[timings] {} costing ({} verification): {:.1} ms on {} threads",
                 run.costing,
+                run.verify,
                 run.wall_clock.as_secs_f64() * 1e3,
                 run.threads,
             );
@@ -607,6 +660,35 @@ mod tests {
         assert_eq!(groups[1].calibration, "hotspot3");
         let text = out.render();
         assert!(text.contains("by calibration") && text.contains("hotspot3"));
+    }
+
+    #[test]
+    fn verify_axis_reports_verdicts_and_rollups() {
+        let mut spec = SweepSpec::smoke();
+        spec.topologies = vec!["grid4x4".into()];
+        spec.benchmarks = vec!["GHZ".into()];
+        spec.verify = vec![VerifyLevel::Off, VerifyLevel::Exact];
+        let out = run_sweep(&spec).unwrap();
+        // One cell per verification level (single costing).
+        assert_eq!(out.cells.len(), 2);
+        assert_eq!(out.runs.len(), 2);
+        let off = &out.cells[0];
+        let exact = &out.cells[1];
+        assert_eq!((off.verify, exact.verify), ("off", "exact"));
+        assert!(off.verification.is_none());
+        // The 16-qubit suite exceeds the dense oracle, so the exact level
+        // transparently degrades to the Monte-Carlo oracle — and passes.
+        let v = exact.verification.as_ref().unwrap();
+        assert_eq!(v.method(), "sampled");
+        assert!(!v.failed(), "{v}");
+        assert!(out.runs[0].verification.is_none());
+        let summary = out.runs[1].verification.as_ref().unwrap();
+        assert!(summary.all_passed());
+        assert_eq!(summary.sampled, 1);
+        let text = out.render();
+        assert!(text.contains("exact verification"), "{text}");
+        assert!(text.contains("verify: 0 exact, 1 sampled"), "{text}");
+        assert!(text.contains("sampled ok"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Golden snapshot tests for the paper-figure binaries: the committed
+//! expected output is compared **verbatim**, locking paper-figure
+//! determinism across refactors. Both binaries are seeded and print no
+//! wall-clock content, so any diff is a real behavior change — update the
+//! golden file deliberately (`cargo run --release --bin <name> >
+//! crates/repro/tests/golden/<name>.txt`) when one is intended.
+
+use std::process::Command;
+
+fn run_golden(bin: &str, golden: &str) {
+    let out = Command::new(bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} exited with {:?}; stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("binary output is UTF-8");
+    if stdout != golden {
+        // Locate the first diverging line for a readable failure.
+        let mismatch = stdout
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "{bin}: output diverged from the golden snapshot at line {}:\n  got:  {got}\n  want: {want}",
+                i + 1
+            ),
+            None => panic!(
+                "{bin}: output length diverged from the golden snapshot ({} vs {} bytes)",
+                stdout.len(),
+                golden.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn table1_output_matches_golden_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_table1"),
+        include_str!("golden/table1.txt"),
+    );
+}
+
+#[test]
+fn fig1_output_matches_golden_snapshot() {
+    run_golden(env!("CARGO_BIN_EXE_fig1"), include_str!("golden/fig1.txt"));
+}

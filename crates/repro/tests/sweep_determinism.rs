@@ -1,8 +1,9 @@
 //! The sweep's acceptance guarantee: the rendered report is a pure
 //! function of the spec — bit-identical at any worker-thread count —
-//! including the calibration axis and noise-aware routing.
+//! including the calibration axis, noise-aware routing, and the semantic
+//! verification axis.
 
-use paradrive_engine::Costing;
+use paradrive_engine::{Costing, VerifyLevel};
 use paradrive_repro::sweep::{run_sweep, SweepOutcome, SweepSpec};
 
 fn at_threads(spec: &SweepSpec, threads: usize) -> SweepOutcome {
@@ -58,4 +59,36 @@ fn calibrated_noise_aware_sweep_is_bit_identical_across_thread_counts() {
         .cells
         .iter()
         .all(|c| c.optimized_ft.is_finite() && c.optimized_ft > 0.0));
+}
+
+#[test]
+fn verified_sweep_is_bit_identical_across_thread_counts() {
+    // The fifth axis: semantic verification verdicts (fidelities included)
+    // are part of the rendered report and must stay a pure function of the
+    // spec. The Monte-Carlo oracle seeds per job, never per worker.
+    let mut spec = SweepSpec::smoke();
+    spec.verify = vec![VerifyLevel::Off, VerifyLevel::Sampled];
+    let one = at_threads(&spec, 1);
+    let four = at_threads(&spec, 4);
+    assert_eq!(
+        one.render(),
+        four.render(),
+        "verified sweep report differs between 1 and 4 threads"
+    );
+    // Verified cells carry passing verdicts; un-verified cells carry none.
+    let (off, sampled): (Vec<_>, Vec<_>) = one.cells.iter().partition(|c| c.verify == "off");
+    assert_eq!(off.len(), sampled.len());
+    assert!(off.iter().all(|c| c.verification.is_none()));
+    assert!(sampled.iter().all(|c| {
+        c.verification
+            .as_ref()
+            .is_some_and(|v| !v.failed() && v.method() == "sampled")
+    }));
+    let summaries: Vec<_> = one
+        .runs
+        .iter()
+        .filter_map(|r| r.verification.as_ref())
+        .collect();
+    assert_eq!(summaries.len(), 1);
+    assert!(summaries[0].all_passed());
 }

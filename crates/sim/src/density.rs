@@ -6,8 +6,13 @@
 //! qubit; this module lets tests *derive* the model from channel-level
 //! simulation instead of assuming it.
 
-use crate::State;
+use crate::{SimError, State};
+use paradrive_circuit::{Circuit, Op};
 use paradrive_linalg::{CMat, C64};
+
+/// Widest register [`Density::run`] will simulate (the matrix is dense:
+/// `4^n` entries).
+pub const MAX_DENSITY_QUBITS: usize = 10;
 
 /// An `n`-qubit density matrix (`2^n × 2^n`).
 #[derive(Debug, Clone)]
@@ -29,6 +34,160 @@ impl Density {
             }
         }
         Density { n, mat }
+    }
+
+    /// Runs a circuit from `|0…0⟩⟨0…0|` at the channel level — the
+    /// density-matrix counterpart of [`State::run`], used to cross-check
+    /// the statevector simulator gate by gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooWide`] beyond [`MAX_DENSITY_QUBITS`] qubits
+    /// and propagates gate-application errors.
+    pub fn run(circuit: &Circuit) -> Result<Density, SimError> {
+        let n = circuit.n_qubits();
+        if n > MAX_DENSITY_QUBITS {
+            return Err(SimError::TooWide {
+                qubits: n,
+                max: MAX_DENSITY_QUBITS,
+            });
+        }
+        let mut rho = Density::from_state(&State::zero(n));
+        rho.apply_circuit(circuit)?;
+        Ok(rho)
+    }
+
+    /// Applies every operation of a circuit as a unitary conjugation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] when the circuit's width differs
+    /// from the register's, and propagates gate-application errors.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.n_qubits() != self.n {
+            return Err(SimError::WidthMismatch {
+                circuit: circuit.n_qubits(),
+                state: self.n,
+            });
+        }
+        for op in circuit.ops() {
+            match op {
+                Op::OneQ { gate, q } => self.conjugate_1q(&gate.unitary(), *q)?,
+                Op::TwoQ { gate, a, b } => self.conjugate_2q(&gate.unitary(), *a, *b)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Conjugates by a 2×2 unitary on qubit `q`: `ρ → U_q ρ U_q†`, mixing
+    /// row pairs then column pairs directly instead of building the `2^n`
+    /// embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not 2×2.
+    pub fn conjugate_1q(&mut self, g: &CMat, q: usize) -> Result<(), SimError> {
+        if q >= self.n {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                width: self.n,
+            });
+        }
+        assert_eq!((g.rows(), g.cols()), (2, 2));
+        let d = 1usize << self.n;
+        let bit = 1usize << (self.n - 1 - q);
+        let low = bit - 1;
+        let (g00, g01, g10, g11) = (g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]);
+        // Left multiply by U: rows mix within each column.
+        for c in 0..d {
+            for k in 0..d / 2 {
+                let i = ((k & !low) << 1) | (k & low);
+                let j = i | bit;
+                let (x, y) = (self.mat[(i, c)], self.mat[(j, c)]);
+                self.mat[(i, c)] = g00 * x + g01 * y;
+                self.mat[(j, c)] = g10 * x + g11 * y;
+            }
+        }
+        // Right multiply by U†: columns mix within each row.
+        for r in 0..d {
+            for k in 0..d / 2 {
+                let i = ((k & !low) << 1) | (k & low);
+                let j = i | bit;
+                let (x, y) = (self.mat[(r, i)], self.mat[(r, j)]);
+                self.mat[(r, i)] = x * g00.conj() + y * g01.conj();
+                self.mat[(r, j)] = x * g10.conj() + y * g11.conj();
+            }
+        }
+        Ok(())
+    }
+
+    /// Conjugates by a 4×4 unitary on qubits `(a, b)` with `a` as the high
+    /// bit: `ρ → U_{ab} ρ U_{ab}†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] or [`SimError::DuplicateQubit`]
+    /// for bad indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not 4×4.
+    pub fn conjugate_2q(&mut self, g: &CMat, a: usize, b: usize) -> Result<(), SimError> {
+        for q in [a, b] {
+            if q >= self.n {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q,
+                    width: self.n,
+                });
+            }
+        }
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
+        assert_eq!((g.rows(), g.cols()), (4, 4));
+        let d = 1usize << self.n;
+        let bit_a = 1usize << (self.n - 1 - a);
+        let bit_b = 1usize << (self.n - 1 - b);
+        let (small, big) = (bit_a.min(bit_b), bit_a.max(bit_b));
+        let (low_s, low_b) = (small - 1, big - 1);
+        let block = |k: usize| {
+            let t = ((k & !low_s) << 1) | (k & low_s);
+            let i = ((t & !low_b) << 1) | (t & low_b);
+            [i, i | bit_b, i | bit_a, i | bit_a | bit_b]
+        };
+        // Left multiply by U: row blocks mix within each column.
+        for c in 0..d {
+            for k in 0..d / 4 {
+                let idx = block(k);
+                let old = idx.map(|i| self.mat[(i, c)]);
+                for (r, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (s, &x) in old.iter().enumerate() {
+                        acc += g[(r, s)] * x;
+                    }
+                    self.mat[(i, c)] = acc;
+                }
+            }
+        }
+        // Right multiply by U†: column blocks mix within each row.
+        for r in 0..d {
+            for k in 0..d / 4 {
+                let idx = block(k);
+                let old = idx.map(|i| self.mat[(r, i)]);
+                for (c, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (s, &x) in old.iter().enumerate() {
+                        acc += x * g[(c, s)].conj();
+                    }
+                    self.mat[(r, i)] = acc;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of qubits.
@@ -65,12 +224,20 @@ impl Density {
     /// qubit `q`: Kraus operators `K0 = diag(1, √(1−p))`,
     /// `K1 = √p |0⟩⟨1|`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `q` is out of range or `p ∉ [0, 1]`.
-    pub fn amplitude_damp(&mut self, q: usize, p: f64) {
-        assert!(q < self.n, "qubit out of range");
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
+    /// Returns [`SimError::QubitOutOfRange`] for a bad index and
+    /// [`SimError::InvalidProbability`] when `p ∉ [0, 1]`.
+    pub fn amplitude_damp(&mut self, q: usize, p: f64) -> Result<(), SimError> {
+        if q >= self.n {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                width: self.n,
+            });
+        }
+        if !(0.0..=1.0).contains(&p) {
+            return Err(SimError::InvalidProbability(p));
+        }
         let k0 = CMat::diag(&[C64::ONE, C64::real((1.0 - p).sqrt())]);
         let mut k1 = CMat::zeros(2, 2);
         k1[(0, 1)] = C64::real(p.sqrt());
@@ -79,15 +246,22 @@ impl Density {
         let part0 = e0.mul(&self.mat).mul(&e0.adjoint());
         let part1 = e1.mul(&self.mat).mul(&e1.adjoint());
         self.mat = part0.add(&part1);
+        Ok(())
     }
 
     /// Applies `T1` relaxation for a duration `t` (same units as `t1`) to
     /// every qubit: damping probability `p = 1 − exp(−t/T1)`.
-    pub fn relax_all(&mut self, t: f64, t1: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] when `t/t1` is negative or
+    /// non-finite.
+    pub fn relax_all(&mut self, t: f64, t1: f64) -> Result<(), SimError> {
         let p = 1.0 - (-t / t1).exp();
         for q in 0..self.n {
-            self.amplitude_damp(q, p);
+            self.amplitude_damp(q, p)?;
         }
+        Ok(())
     }
 
     /// State fidelity `⟨ψ|ρ|ψ⟩` against a pure reference.
@@ -129,7 +303,61 @@ mod tests {
         for q in 0..n {
             c.push_1q(OneQ::X, q);
         }
-        State::run(&c)
+        State::run(&c).unwrap()
+    }
+
+    #[test]
+    fn run_matches_statevector_on_entangling_circuit() {
+        use paradrive_circuit::TwoQ;
+        let mut c = Circuit::new(3);
+        c.push_1q(OneQ::H, 0);
+        c.push_2q(TwoQ::Cx, 0, 1);
+        c.push_2q(TwoQ::ISwap, 1, 2);
+        c.push_1q(OneQ::T, 2);
+        c.push_2q(TwoQ::Cx, 2, 0);
+        let rho = Density::run(&c).unwrap();
+        let psi = State::run(&c).unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.fidelity(&psi) - 1.0).abs() < 1e-10);
+        // Diagonal equals the statevector probabilities entry by entry.
+        for (i, p) in psi.probabilities().iter().enumerate() {
+            assert!((rho.matrix()[(i, i)].re - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn run_rejects_wide_and_bad_inputs_with_typed_errors() {
+        assert_eq!(
+            Density::run(&Circuit::new(MAX_DENSITY_QUBITS + 1)).unwrap_err(),
+            SimError::TooWide {
+                qubits: MAX_DENSITY_QUBITS + 1,
+                max: MAX_DENSITY_QUBITS
+            }
+        );
+        let mut rho = Density::from_state(&State::zero(2));
+        assert_eq!(
+            rho.apply_circuit(&Circuit::new(3)).unwrap_err(),
+            SimError::WidthMismatch {
+                circuit: 3,
+                state: 2
+            }
+        );
+        assert_eq!(
+            rho.conjugate_1q(&OneQ::X.unitary(), 7).unwrap_err(),
+            SimError::QubitOutOfRange { qubit: 7, width: 2 }
+        );
+        assert_eq!(
+            rho.amplitude_damp(9, 0.5).unwrap_err(),
+            SimError::QubitOutOfRange { qubit: 9, width: 2 }
+        );
+        assert_eq!(
+            rho.amplitude_damp(0, 1.5).unwrap_err(),
+            SimError::InvalidProbability(1.5)
+        );
+        // Rejected operations leave the state untouched.
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -145,9 +373,9 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push_1q(OneQ::H, 0);
         c.push_1q(OneQ::X, 1);
-        let mut rho = Density::from_state(&State::run(&c));
-        rho.amplitude_damp(0, 0.3);
-        rho.amplitude_damp(1, 0.3);
+        let mut rho = Density::from_state(&State::run(&c).unwrap());
+        rho.amplitude_damp(0, 0.3).unwrap();
+        rho.amplitude_damp(1, 0.3).unwrap();
         assert!((rho.trace() - 1.0).abs() < 1e-10);
         assert!(rho.purity() < 1.0);
     }
@@ -157,18 +385,18 @@ mod tests {
         // The Kraus pair must satisfy K0†K0 + K1†K1 = I, so tr(ρ) stays 1
         // for every damping strength, qubit, width and input state —
         // including entangled (GHZ) and locally rotated ones.
-        let states: Vec<State> = vec![State::run(&benchmarks::ghz(3)), excited(3), {
+        let states: Vec<State> = vec![State::run(&benchmarks::ghz(3)).unwrap(), excited(3), {
             let mut c = Circuit::new(3);
             c.push_1q(OneQ::H, 0);
             c.push_1q(OneQ::T, 1);
             c.push_1q(OneQ::X, 2);
-            State::run(&c)
+            State::run(&c).unwrap()
         }];
         for state in &states {
             for p in [0.0, 0.17, 0.5, 0.83, 1.0] {
                 let mut rho = Density::from_state(state);
                 for q in 0..rho.n_qubits() {
-                    rho.amplitude_damp(q, p);
+                    rho.amplitude_damp(q, p).unwrap();
                     assert!(
                         (rho.trace() - 1.0).abs() < 1e-12,
                         "trace drifted to {} at p = {p}, qubit {q}",
@@ -178,9 +406,9 @@ mod tests {
             }
         }
         // Repeated relax_all steps keep the trace pinned too.
-        let mut rho = Density::from_state(&State::run(&benchmarks::ghz(3)));
+        let mut rho = Density::from_state(&State::run(&benchmarks::ghz(3)).unwrap());
         for _ in 0..5 {
-            rho.relax_all(0.21, 1.0);
+            rho.relax_all(0.21, 1.0).unwrap();
         }
         assert!((rho.trace() - 1.0).abs() < 1e-10);
     }
@@ -188,8 +416,8 @@ mod tests {
     #[test]
     fn full_damping_resets_to_ground() {
         let mut rho = Density::from_state(&excited(2));
-        rho.amplitude_damp(0, 1.0);
-        rho.amplitude_damp(1, 1.0);
+        rho.amplitude_damp(0, 1.0).unwrap();
+        rho.amplitude_damp(1, 1.0).unwrap();
         let ground = State::zero(2);
         assert!((rho.fidelity(&ground) - 1.0).abs() < 1e-10);
     }
@@ -201,7 +429,7 @@ mod tests {
         let reference = excited(1);
         for d_over_t1 in [0.01, 0.1, 0.5] {
             let mut rho = Density::from_state(&reference);
-            rho.relax_all(d_over_t1, 1.0);
+            rho.relax_all(d_over_t1, 1.0).unwrap();
             let f = rho.fidelity(&reference);
             let model = (-d_over_t1_total(d_over_t1)).exp();
             assert!(
@@ -221,7 +449,7 @@ mod tests {
             let reference = excited(n);
             let mut rho = Density::from_state(&reference);
             let d_over_t1 = 0.2;
-            rho.relax_all(d_over_t1, 1.0);
+            rho.relax_all(d_over_t1, 1.0).unwrap();
             let f = rho.fidelity(&reference);
             let model = (-(n as f64) * d_over_t1).exp();
             assert!(
@@ -237,9 +465,9 @@ mod tests {
         // worst-case wire. Channel-level fidelity must be ≥ the model.
         let mut c = Circuit::new(1);
         c.push_1q(OneQ::H, 0);
-        let plus = State::run(&c);
+        let plus = State::run(&c).unwrap();
         let mut rho = Density::from_state(&plus);
-        rho.relax_all(0.3, 1.0);
+        rho.relax_all(0.3, 1.0).unwrap();
         let f = rho.fidelity(&plus);
         let model = (-0.3_f64).exp();
         assert!(f > model, "superposition fidelity {f} ≤ model {model}");
@@ -249,19 +477,19 @@ mod tests {
     fn ghz_fidelity_decays_with_width_and_time() {
         let mut last_f = 1.0;
         for n in [2usize, 3, 4] {
-            let ghz = State::run(&benchmarks::ghz(n));
+            let ghz = State::run(&benchmarks::ghz(n)).unwrap();
             let mut rho = Density::from_state(&ghz);
-            rho.relax_all(0.2, 1.0);
+            rho.relax_all(0.2, 1.0).unwrap();
             let f = rho.fidelity(&ghz);
             assert!(f < last_f, "fidelity should drop with width: {f}");
             last_f = f;
         }
         // And with time.
-        let ghz = State::run(&benchmarks::ghz(3));
+        let ghz = State::run(&benchmarks::ghz(3)).unwrap();
         let mut prev = 1.0;
         for steps in 1..4 {
             let mut rho = Density::from_state(&ghz);
-            rho.relax_all(0.15 * steps as f64, 1.0);
+            rho.relax_all(0.15 * steps as f64, 1.0).unwrap();
             let f = rho.fidelity(&ghz);
             assert!(f < prev);
             prev = f;

@@ -19,10 +19,11 @@
 //! let mut c = Circuit::new(2);
 //! c.push_1q(OneQ::H, 0);
 //! c.push_2q(TwoQ::Cx, 0, 1);
-//! let state = State::run(&c);
+//! let state = State::run(&c)?;
 //! let p = state.probabilities();
 //! assert!((p[0b00] - 0.5).abs() < 1e-12);
 //! assert!((p[0b11] - 0.5).abs() < 1e-12);
+//! # Ok::<(), paradrive_sim::SimError>(())
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +31,11 @@
 pub mod density;
 mod state;
 
-pub use density::Density;
-pub use state::{circuit_unitary, heavy_output_probability, State};
+pub use density::{Density, MAX_DENSITY_QUBITS};
+pub use state::{circuit_unitary, heavy_output_probability, State, MAX_STATE_QUBITS};
 
 /// Errors produced by the simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// The circuit is wider than this operation supports.
@@ -46,6 +47,24 @@ pub enum SimError {
     },
     /// A permutation did not cover every qubit exactly once.
     BadPermutation,
+    /// A gate addressed a qubit outside the register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register width.
+        width: usize,
+    },
+    /// A two-qubit gate addressed the same qubit twice.
+    DuplicateQubit(usize),
+    /// A circuit was applied to a register of a different width.
+    WidthMismatch {
+        /// Circuit width.
+        circuit: usize,
+        /// Register width.
+        state: usize,
+    },
+    /// A channel probability fell outside `[0, 1]`.
+    InvalidProbability(f64),
 }
 
 impl std::fmt::Display for SimError {
@@ -58,6 +77,21 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::BadPermutation => write!(f, "invalid qubit permutation"),
+            SimError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for width {width}")
+            }
+            SimError::DuplicateQubit(q) => {
+                write!(f, "two-qubit gate addresses qubit {q} twice")
+            }
+            SimError::WidthMismatch { circuit, state } => {
+                write!(
+                    f,
+                    "circuit width {circuit} does not match register width {state}"
+                )
+            }
+            SimError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
         }
     }
 }

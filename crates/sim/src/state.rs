@@ -14,13 +14,32 @@ pub struct State {
     amps: Vec<C64>,
 }
 
+/// Widest register [`State`] will allocate (`2^26` amplitudes ≈ 1 GiB).
+pub const MAX_STATE_QUBITS: usize = 26;
+
 impl State {
     /// The all-zeros computational basis state `|0…0⟩`.
     pub fn zero(n: usize) -> Self {
-        assert!(n <= 26, "statevector width limited to 26 qubits");
+        assert!(
+            n <= MAX_STATE_QUBITS,
+            "statevector width limited to {MAX_STATE_QUBITS} qubits"
+        );
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
         State { n, amps }
+    }
+
+    /// The computational basis state `|index⟩` over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_STATE_QUBITS`] or `index ≥ 2^n`.
+    pub fn basis(n: usize, index: usize) -> Self {
+        let mut s = State::zero(n);
+        assert!(index < s.amps.len(), "basis index out of range");
+        s.amps[0] = C64::ZERO;
+        s.amps[index] = C64::ONE;
+        s
     }
 
     /// Builds a state from explicit amplitudes.
@@ -46,71 +65,135 @@ impl State {
 
     /// Applies a 2×2 unitary to qubit `q`.
     ///
+    /// The kernel walks each amplitude pair exactly once in ascending
+    /// memory order (no per-index branch): iteration `k` re-inserts a zero
+    /// bit at the target position, so consecutive iterations touch
+    /// consecutive cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad index.
+    ///
     /// # Panics
     ///
-    /// Panics if `q` is out of range or `g` is not 2×2.
-    pub fn apply_1q(&mut self, g: &CMat, q: usize) {
-        assert!(q < self.n, "qubit out of range");
+    /// Panics if `g` is not 2×2.
+    pub fn apply_1q(&mut self, g: &CMat, q: usize) -> Result<(), SimError> {
+        if q >= self.n {
+            return Err(SimError::QubitOutOfRange {
+                qubit: q,
+                width: self.n,
+            });
+        }
         assert_eq!((g.rows(), g.cols()), (2, 2));
         let bit = 1usize << (self.n - 1 - q);
+        let low = bit - 1;
         let (g00, g01, g10, g11) = (g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]);
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                let j = i | bit;
-                let (a, b) = (self.amps[i], self.amps[j]);
-                self.amps[i] = g00 * a + g01 * b;
-                self.amps[j] = g10 * a + g11 * b;
-            }
+        for k in 0..self.amps.len() / 2 {
+            let i = ((k & !low) << 1) | (k & low);
+            let j = i | bit;
+            let (a, b) = (self.amps[i], self.amps[j]);
+            self.amps[i] = g00 * a + g01 * b;
+            self.amps[j] = g10 * a + g11 * b;
         }
+        Ok(())
     }
 
     /// Applies a 4×4 unitary to qubits `(a, b)` with `a` as the high bit.
     ///
+    /// Like [`State::apply_1q`], the kernel enumerates the 4-amplitude
+    /// blocks directly (two zero-bit insertions per iteration) instead of
+    /// scanning and skipping, and keeps the 16 matrix entries in locals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] or [`SimError::DuplicateQubit`]
+    /// for bad indices.
+    ///
     /// # Panics
     ///
-    /// Panics on bad indices or a non-4×4 matrix.
-    pub fn apply_2q(&mut self, g: &CMat, a: usize, b: usize) {
-        assert!(a < self.n && b < self.n && a != b, "bad qubit pair");
+    /// Panics if `g` is not 4×4.
+    pub fn apply_2q(&mut self, g: &CMat, a: usize, b: usize) -> Result<(), SimError> {
+        for q in [a, b] {
+            if q >= self.n {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q,
+                    width: self.n,
+                });
+            }
+        }
+        if a == b {
+            return Err(SimError::DuplicateQubit(a));
+        }
         assert_eq!((g.rows(), g.cols()), (4, 4));
         let bit_a = 1usize << (self.n - 1 - a);
         let bit_b = 1usize << (self.n - 1 - b);
-        for i in 0..self.amps.len() {
-            // Visit each 4-amplitude block once, from its 00 member.
-            if i & bit_a == 0 && i & bit_b == 0 {
-                let idx = [i, i | bit_b, i | bit_a, i | bit_a | bit_b];
-                let old = [
-                    self.amps[idx[0]],
-                    self.amps[idx[1]],
-                    self.amps[idx[2]],
-                    self.amps[idx[3]],
-                ];
-                for (r, &out_i) in idx.iter().enumerate() {
-                    let mut acc = C64::ZERO;
-                    for (c, &amp) in old.iter().enumerate() {
-                        acc += g[(r, c)] * amp;
-                    }
-                    self.amps[out_i] = acc;
-                }
+        let (small, big) = (bit_a.min(bit_b), bit_a.max(bit_b));
+        let (low_s, low_b) = (small - 1, big - 1);
+        let mut m = [[C64::ZERO; 4]; 4];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = g[(r, c)];
             }
         }
+        for k in 0..self.amps.len() / 4 {
+            // Insert zero bits at the lower, then the higher position.
+            let t = ((k & !low_s) << 1) | (k & low_s);
+            let i = ((t & !low_b) << 1) | (t & low_b);
+            let idx = [i, i | bit_b, i | bit_a, i | bit_a | bit_b];
+            let old = [
+                self.amps[idx[0]],
+                self.amps[idx[1]],
+                self.amps[idx[2]],
+                self.amps[idx[3]],
+            ];
+            for (r, &out_i) in idx.iter().enumerate() {
+                self.amps[out_i] =
+                    m[r][0] * old[0] + m[r][1] * old[1] + m[r][2] * old[2] + m[r][3] * old[3];
+            }
+        }
+        Ok(())
     }
 
     /// Runs a circuit from `|0…0⟩`.
-    pub fn run(circuit: &Circuit) -> State {
-        let mut s = State::zero(circuit.n_qubits());
-        s.apply_circuit(circuit);
-        s
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooWide`] beyond [`MAX_STATE_QUBITS`] qubits and
+    /// propagates gate-application errors (which cannot occur for circuits
+    /// built through the checked [`Circuit`] API).
+    pub fn run(circuit: &Circuit) -> Result<State, SimError> {
+        let n = circuit.n_qubits();
+        if n > MAX_STATE_QUBITS {
+            return Err(SimError::TooWide {
+                qubits: n,
+                max: MAX_STATE_QUBITS,
+            });
+        }
+        let mut s = State::zero(n);
+        s.apply_circuit(circuit)?;
+        Ok(s)
     }
 
     /// Applies every operation of a circuit in order.
-    pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.n_qubits(), self.n, "width mismatch");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] when the circuit's width differs
+    /// from the register's, and propagates gate-application errors.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.n_qubits() != self.n {
+            return Err(SimError::WidthMismatch {
+                circuit: circuit.n_qubits(),
+                state: self.n,
+            });
+        }
         for op in circuit.ops() {
             match op {
-                Op::OneQ { gate, q } => self.apply_1q(&gate.unitary(), *q),
-                Op::TwoQ { gate, a, b } => self.apply_2q(&gate.unitary(), *a, *b),
+                Op::OneQ { gate, q } => self.apply_1q(&gate.unitary(), *q)?,
+                Op::TwoQ { gate, a, b } => self.apply_2q(&gate.unitary(), *a, *b)?,
             }
         }
+        Ok(())
     }
 
     /// Measurement probabilities per basis state.
@@ -213,15 +296,8 @@ pub fn circuit_unitary(circuit: &Circuit) -> Result<CMat, SimError> {
     let dim = 1usize << n;
     let mut u = CMat::zeros(dim, dim);
     for col in 0..dim {
-        let mut s = State {
-            n,
-            amps: {
-                let mut v = vec![C64::ZERO; dim];
-                v[col] = C64::ONE;
-                v
-            },
-        };
-        s.apply_circuit(circuit);
+        let mut s = State::basis(n, col);
+        s.apply_circuit(circuit)?;
         for row in 0..dim {
             u[(row, col)] = s.amplitudes()[row];
         }
@@ -232,8 +308,12 @@ pub fn circuit_unitary(circuit: &Circuit) -> Result<CMat, SimError> {
 /// Heavy-output probability of a circuit: the total ideal probability of
 /// outcomes whose probability exceeds the median — the Quantum Volume
 /// success metric (ideal value ≈ (1 + ln 2)/2 ≈ 0.85 for random circuits).
-pub fn heavy_output_probability(circuit: &Circuit) -> f64 {
-    let probs = State::run(circuit).probabilities();
+///
+/// # Errors
+///
+/// As [`State::run`].
+pub fn heavy_output_probability(circuit: &Circuit) -> Result<f64, SimError> {
+    let probs = State::run(circuit)?.probabilities();
     let mut sorted = probs.clone();
     sorted.sort_by(f64::total_cmp);
     let m = sorted.len();
@@ -242,7 +322,7 @@ pub fn heavy_output_probability(circuit: &Circuit) -> f64 {
     } else {
         sorted[m / 2]
     };
-    probs.into_iter().filter(|&p| p > median).sum()
+    Ok(probs.into_iter().filter(|&p| p > median).sum())
 }
 
 #[cfg(test)]
@@ -265,7 +345,7 @@ mod tests {
     fn x_flips_qubit() {
         let mut c = Circuit::new(2);
         c.push_1q(OneQ::X, 0);
-        let s = State::run(&c);
+        let s = State::run(&c).unwrap();
         // Qubit 0 is the high bit → |10⟩ = index 2.
         assert!((s.probabilities()[2] - 1.0).abs() < 1e-12);
         assert!((s.expect_z(0) + 1.0).abs() < 1e-12);
@@ -274,7 +354,7 @@ mod tests {
 
     #[test]
     fn ghz_state_structure() {
-        let s = State::run(&benchmarks::ghz(4));
+        let s = State::run(&benchmarks::ghz(4)).unwrap();
         let p = s.probabilities();
         assert!((p[0] - 0.5).abs() < 1e-12);
         assert!((p[15] - 0.5).abs() < 1e-12);
@@ -286,7 +366,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push_1q(OneQ::X, 1); // |01⟩
         c.push_2q(TwoQ::Swap, 0, 1); // |10⟩
-        let s = State::run(&c);
+        let s = State::run(&c).unwrap();
         assert!((s.probabilities()[2] - 1.0).abs() < 1e-12);
     }
 
@@ -310,6 +390,53 @@ mod tests {
     }
 
     #[test]
+    fn bad_qubit_indices_are_typed_errors() {
+        // Regression: these used to panic via `assert!`; the simulator now
+        // reports the crate's typed `SimError` instead.
+        let mut s = State::zero(2);
+        assert_eq!(
+            s.apply_1q(&OneQ::X.unitary(), 5).unwrap_err(),
+            SimError::QubitOutOfRange { qubit: 5, width: 2 }
+        );
+        assert_eq!(
+            s.apply_2q(&TwoQ::Cx.unitary(), 0, 3).unwrap_err(),
+            SimError::QubitOutOfRange { qubit: 3, width: 2 }
+        );
+        assert_eq!(
+            s.apply_2q(&TwoQ::Cx.unitary(), 1, 1).unwrap_err(),
+            SimError::DuplicateQubit(1)
+        );
+        // The state is untouched by rejected applications.
+        assert_eq!(s.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn width_mismatch_is_a_typed_error() {
+        let mut s = State::zero(2);
+        let c = Circuit::new(3);
+        assert_eq!(
+            s.apply_circuit(&c).unwrap_err(),
+            SimError::WidthMismatch {
+                circuit: 3,
+                state: 2
+            }
+        );
+        assert!(matches!(
+            State::run(&Circuit::new(MAX_STATE_QUBITS + 1)).unwrap_err(),
+            SimError::TooWide { qubits, max } if qubits == MAX_STATE_QUBITS + 1 && max == MAX_STATE_QUBITS
+        ));
+    }
+
+    #[test]
+    fn basis_states_are_one_hot() {
+        let s = State::basis(3, 5);
+        let p = s.probabilities();
+        assert_eq!(p[5], 1.0);
+        assert!((s.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(p.iter().filter(|&&x| x > 0.0).count(), 1);
+    }
+
+    #[test]
     fn too_wide_unitary_rejected() {
         let c = Circuit::new(11);
         assert!(matches!(
@@ -323,7 +450,7 @@ mod tests {
 
     #[test]
     fn qft_preserves_norm_and_spreads() {
-        let s = State::run(&benchmarks::qft(6));
+        let s = State::run(&benchmarks::qft(6)).unwrap();
         assert!((s.norm() - 1.0).abs() < 1e-10);
         // QFT of |0…0⟩ is uniform.
         for p in s.probabilities() {
@@ -336,7 +463,7 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push_1q(OneQ::H, 0);
         c.push_2q(TwoQ::Cx, 0, 2);
-        let s = State::run(&c);
+        let s = State::run(&c).unwrap();
         let id: Vec<usize> = (0..3).collect();
         assert!(s.permuted(&id).unwrap().fidelity(&s) > 1.0 - 1e-12);
         // A swap of qubits 0 and 2 twice is the identity.
@@ -360,10 +487,10 @@ mod tests {
         c.push_1q(OneQ::H, 0);
         c.push_1q(OneQ::T, 1);
         c.push_2q(TwoQ::Cx, 0, 2);
-        let s = State::run(&c);
+        let s = State::run(&c).unwrap();
         let mut swapped_circuit = c.clone();
         swapped_circuit.push_2q(TwoQ::Swap, 0, 1);
-        let via_gate = State::run(&swapped_circuit);
+        let via_gate = State::run(&swapped_circuit).unwrap();
         let via_perm = s.permuted(&[1, 0, 2]).unwrap();
         assert!(via_gate.fidelity(&via_perm) > 1.0 - 1e-12);
     }
@@ -371,7 +498,7 @@ mod tests {
     #[test]
     fn heavy_output_of_uniform_is_zero() {
         // QFT|0⟩ is uniform: no outcome exceeds the median.
-        assert!(heavy_output_probability(&benchmarks::qft(5)) < 1e-9);
+        assert!(heavy_output_probability(&benchmarks::qft(5)).unwrap() < 1e-9);
     }
 
     #[test]
@@ -380,7 +507,7 @@ mod tests {
         let mut acc = 0.0;
         let trials = 5;
         for seed in 0..trials {
-            acc += heavy_output_probability(&benchmarks::quantum_volume(8, 8, seed));
+            acc += heavy_output_probability(&benchmarks::quantum_volume(8, 8, seed)).unwrap();
         }
         let hop = acc / trials as f64;
         assert!((hop - 0.85).abs() < 0.08, "heavy-output {hop}");
@@ -390,7 +517,7 @@ mod tests {
     fn sampling_matches_probabilities() {
         let mut c = Circuit::new(1);
         c.push_1q(OneQ::H, 0);
-        let s = State::run(&c);
+        let s = State::run(&c).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let ones = (0..2000).filter(|_| s.sample(&mut rng) == 1).count();
         assert!((900..1100).contains(&ones), "{ones} ones");
@@ -401,7 +528,7 @@ mod tests {
         #[test]
         fn prop_random_circuits_preserve_norm(seed in 0u64..200) {
             let c = benchmarks::quantum_volume(5, 4, seed);
-            let s = State::run(&c);
+            let s = State::run(&c).unwrap();
             prop_assert!((s.norm() - 1.0).abs() < 1e-9);
         }
 

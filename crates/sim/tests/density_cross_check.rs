@@ -1,0 +1,46 @@
+//! Cross-check of the two simulators: [`Density::run`] on a pure state
+//! must agree with [`State::run`] probabilities — and full state fidelity —
+//! for every circuit in the benchmark suite builders, instantiated at
+//! density-tractable widths.
+
+use paradrive_circuit::benchmarks;
+use paradrive_sim::{Density, State};
+
+#[test]
+fn density_and_statevector_agree_on_every_suite_builder() {
+    let seed = 7;
+    let circuits = vec![
+        ("QV", benchmarks::quantum_volume(5, 4, seed)),
+        ("VQE_L", benchmarks::vqe_linear(6, 1, seed)),
+        ("GHZ", benchmarks::ghz(6)),
+        ("HLF", benchmarks::hidden_linear_function(6, seed)),
+        ("QFT", benchmarks::qft(5)),
+        ("Adder", benchmarks::adder(2)),
+        ("QAOA", benchmarks::qaoa(6, 2, seed)),
+        ("VQE_F", benchmarks::vqe_full(5, 2, seed)),
+        ("Multiplier", benchmarks::multiplier(1)),
+    ];
+    for (name, c) in circuits {
+        let psi = State::run(&c).unwrap();
+        let rho = Density::run(&c).unwrap();
+        assert!(
+            (rho.trace() - 1.0).abs() < 1e-9,
+            "{name}: trace {}",
+            rho.trace()
+        );
+        assert!(
+            (rho.purity() - 1.0).abs() < 1e-8,
+            "{name}: purity {}",
+            rho.purity()
+        );
+        let f = rho.fidelity(&psi);
+        assert!((f - 1.0).abs() < 1e-8, "{name}: fidelity {f}");
+        for (i, p) in psi.probabilities().iter().enumerate() {
+            let diag = rho.matrix()[(i, i)].re;
+            assert!(
+                (diag - p).abs() < 1e-9,
+                "{name}: P[{i}] density {diag} vs statevector {p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Semantic equivalence oracles for the transpiler pipeline.
+//!
+//! Every pass in the pipeline — routing, consolidation, calibrated
+//! scheduling — claims to preserve circuit semantics up to the final qubit
+//! permutation the router reports. This crate *checks* those claims at two
+//! rigor levels, scaled to the circuit width:
+//!
+//! - **Exact** ([`VerifyLevel::Exact`]): full unitary equivalence up to the
+//!   output permutation, built column by column with
+//!   [`paradrive_sim::circuit_unitary`]-style basis runs. The physical
+//!   circuit is first *compacted* onto its qubit support — the logical
+//!   wires plus every physical qubit a SWAP ever touches — so a small
+//!   circuit routed on a big device stays tractable. Practical up to
+//!   [`VerifyConfig::max_exact_qubits`] support qubits; beyond that the
+//!   exact level transparently falls back to the sampled oracle.
+//! - **Sampled** ([`VerifyLevel::Sampled`]): a seeded Monte-Carlo oracle
+//!   for wide circuits. `K` random product states (Haar-ish `U3` per
+//!   logical qubit) run through the original and the transpiled circuit;
+//!   output amplitudes are compared under the router's permutation with
+//!   ancilla wires required back in `|0⟩`.
+//!
+//! The physical side can be a routed [`Circuit`] or its consolidated
+//! [`Item`](paradrive_transpiler::consolidate::Item) stream — in the latter
+//! case every consolidated two-qubit block is applied as a single fused
+//! 4×4 unitary (and every merged 1Q run as one 2×2), which both exercises
+//! consolidation itself and is the fast path the batch engine uses.
+//!
+//! # Tolerance policy
+//!
+//! Both oracles compare *fidelities*, not raw amplitudes, so the checks
+//! are insensitive to global phase. The exact oracle computes the process
+//! fidelity `|tr(W† P U)|² / d²` and requires an infidelity below
+//! [`TolerancePolicy::exact_infidelity`] (default `1e-9` — pure
+//! accumulation of floating-point error over thousands of gates). The
+//! sampled oracle requires every sample's state fidelity within
+//! [`TolerancePolicy::sampled_infidelity`] of 1 (default `1e-7`, looser
+//! because a single statevector run concentrates rounding error in fewer
+//! terms than the full-unitary trace averages over). Both verdicts are
+//! pure functions of their inputs — bit-identical across thread counts.
+//!
+//! # Example
+//!
+//! ```
+//! use paradrive_circuit::benchmarks;
+//! use paradrive_transpiler::routing::route;
+//! use paradrive_transpiler::topology::CouplingMap;
+//! use paradrive_verify::{verify, Physical, VerifyConfig, VerifyLevel};
+//!
+//! let c = benchmarks::ghz(5);
+//! let map = CouplingMap::ring(6);
+//! let routed = route(&c, &map, 0)?;
+//! let outcome = verify(
+//!     &c,
+//!     &Physical::Circuit(&routed.circuit),
+//!     &routed.layout,
+//!     &VerifyConfig::default().level(VerifyLevel::Exact),
+//! )?;
+//! assert!(!outcome.failed());
+//! assert_eq!(outcome.method(), "exact");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod oracle;
+mod physical;
+
+pub use physical::Physical;
+
+use paradrive_circuit::Circuit;
+use paradrive_sim::{SimError, MAX_STATE_QUBITS};
+use std::fmt;
+
+/// How much verification a pipeline run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// No verification.
+    #[default]
+    Off,
+    /// The seeded Monte-Carlo oracle on every circuit.
+    Sampled,
+    /// Exact unitary equivalence where the support fits
+    /// ([`VerifyConfig::max_exact_qubits`]), Monte-Carlo beyond it.
+    Exact,
+}
+
+impl VerifyLevel {
+    /// The lowercase label used by CLIs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyLevel::Off => "off",
+            VerifyLevel::Sampled => "sampled",
+            VerifyLevel::Exact => "exact",
+        }
+    }
+}
+
+impl fmt::Display for VerifyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for VerifyLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" => Ok(VerifyLevel::Off),
+            "sampled" => Ok(VerifyLevel::Sampled),
+            "exact" => Ok(VerifyLevel::Exact),
+            other => Err(format!(
+                "unknown verify level `{other}` (expected off, sampled, or exact)"
+            )),
+        }
+    }
+}
+
+/// Pass/fail thresholds for the two oracles (see the crate docs for the
+/// rationale behind the defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TolerancePolicy {
+    /// Maximum process infidelity `1 − |tr(W† P U)|²/d²` the exact oracle
+    /// accepts.
+    pub exact_infidelity: f64,
+    /// Maximum per-sample state infidelity the Monte-Carlo oracle accepts.
+    pub sampled_infidelity: f64,
+}
+
+impl Default for TolerancePolicy {
+    fn default() -> Self {
+        TolerancePolicy {
+            exact_infidelity: 1e-9,
+            sampled_infidelity: 1e-7,
+        }
+    }
+}
+
+/// Configuration for one equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyConfig {
+    /// Rigor level (`Off` short-circuits to [`Verification::Skipped`]).
+    pub level: VerifyLevel,
+    /// Random product-state inputs per circuit for the Monte-Carlo oracle.
+    pub samples: u32,
+    /// Base seed for the Monte-Carlo input states; sample `k` derives its
+    /// own deterministic stream from `(seed, k)`.
+    pub seed: u64,
+    /// Pass/fail thresholds.
+    pub tolerance: TolerancePolicy,
+    /// Largest qubit *support* the exact oracle handles before falling
+    /// back to sampling (the dense unitary is `4^support` entries).
+    pub max_exact_qubits: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            level: VerifyLevel::Sampled,
+            samples: 8,
+            seed: 2023,
+            tolerance: TolerancePolicy::default(),
+            max_exact_qubits: 10,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Sets the rigor level.
+    #[must_use]
+    pub fn level(mut self, level: VerifyLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Sets the Monte-Carlo sample count.
+    #[must_use]
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the Monte-Carlo base seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verification {
+    /// Full unitary equivalence up to the output permutation.
+    Exact {
+        /// Process fidelity `|tr(W† P U)|² / d²` over the compact support.
+        fidelity: f64,
+        /// Basis columns checked (`2^support`).
+        columns: usize,
+        /// Compact support width actually simulated.
+        width: usize,
+        /// Whether the infidelity stayed within policy.
+        passed: bool,
+    },
+    /// Seeded Monte-Carlo equivalence on random product inputs.
+    Sampled {
+        /// Worst state fidelity observed across the samples.
+        min_fidelity: f64,
+        /// Number of random inputs checked.
+        samples: usize,
+        /// Compact support width actually simulated.
+        width: usize,
+        /// Whether every sample stayed within policy.
+        passed: bool,
+    },
+    /// No oracle ran (level off, or the circuit is beyond even the
+    /// statevector simulator). A deliberate policy outcome — not a
+    /// failure.
+    Skipped {
+        /// Why verification did not run.
+        reason: String,
+    },
+    /// Verification was requested but the oracle could not run at all
+    /// (malformed inputs — a broken invariant in the caller). Counts as a
+    /// **failure**: a run that asked for verification and did not get it
+    /// must never report success.
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl Verification {
+    /// True when an oracle rejected the equivalence — or was requested
+    /// but could not run at all ([`Verification::Error`]).
+    pub fn failed(&self) -> bool {
+        matches!(
+            self,
+            Verification::Exact { passed: false, .. }
+                | Verification::Sampled { passed: false, .. }
+                | Verification::Error { .. }
+        )
+    }
+
+    /// The oracle that produced this verdict: `exact`, `sampled`, `skip`,
+    /// `error`.
+    pub fn method(&self) -> &'static str {
+        match self {
+            Verification::Exact { .. } => "exact",
+            Verification::Sampled { .. } => "sampled",
+            Verification::Skipped { .. } => "skip",
+            Verification::Error { .. } => "error",
+        }
+    }
+
+    /// The fidelity the oracle measured (`None` when skipped or errored).
+    pub fn fidelity(&self) -> Option<f64> {
+        match self {
+            Verification::Exact { fidelity, .. } => Some(*fidelity),
+            Verification::Sampled { min_fidelity, .. } => Some(*min_fidelity),
+            Verification::Skipped { .. } | Verification::Error { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verification::Exact {
+                fidelity,
+                columns,
+                width,
+                passed,
+            } => write!(
+                f,
+                "exact {} F={fidelity:.9} ({columns} columns, {width}q)",
+                if *passed { "ok" } else { "FAIL" }
+            ),
+            Verification::Sampled {
+                min_fidelity,
+                samples,
+                width,
+                passed,
+            } => write!(
+                f,
+                "sampled {} F>={min_fidelity:.9} ({samples} samples, {width}q)",
+                if *passed { "ok" } else { "FAIL" }
+            ),
+            Verification::Skipped { reason } => write!(f, "skip ({reason})"),
+            Verification::Error { reason } => write!(f, "ERROR ({reason})"),
+        }
+    }
+}
+
+/// Errors from malformed verification inputs (as opposed to a *failed*
+/// equivalence, which is a [`Verification`] verdict).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A simulator error surfaced mid-oracle.
+    Sim(SimError),
+    /// The layout is not a permutation of the physical qubits.
+    BadLayout,
+    /// The logical circuit is wider than the physical one.
+    WidthMismatch {
+        /// Logical circuit width.
+        logical: usize,
+        /// Physical circuit width.
+        physical: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Sim(e) => write!(f, "simulator error: {e}"),
+            VerifyError::BadLayout => write!(f, "layout is not a permutation"),
+            VerifyError::WidthMismatch { logical, physical } => write!(
+                f,
+                "logical circuit ({logical}q) wider than physical ({physical}q)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+/// Checks that `physical`, run from `|0…0⟩` (ancillas included) and read
+/// out under `layout` (the router's final logical→physical map), is
+/// equivalent to `original`.
+///
+/// The oracle is chosen by [`VerifyConfig::level`]; `Exact` degrades to
+/// the Monte-Carlo oracle when the circuit's qubit support exceeds
+/// [`VerifyConfig::max_exact_qubits`], and either level reports
+/// [`Verification::Skipped`] when even the statevector simulator cannot
+/// hold the circuit.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] only for malformed inputs (bad layout, logical
+/// circuit wider than the device) — a failed equivalence is a
+/// [`Verification`] verdict, not an error.
+pub fn verify(
+    original: &Circuit,
+    physical: &Physical<'_>,
+    layout: &[usize],
+    config: &VerifyConfig,
+) -> Result<Verification, VerifyError> {
+    if config.level == VerifyLevel::Off {
+        return Ok(Verification::Skipped {
+            reason: "verification off".to_string(),
+        });
+    }
+    let prog = physical::compact(original, physical, layout)?;
+    let sampled_or_skip = |prog: &physical::CompactProgram| {
+        if prog.width <= MAX_STATE_QUBITS {
+            oracle::sampled(
+                original,
+                prog,
+                config.samples,
+                config.seed,
+                config.tolerance.sampled_infidelity,
+            )
+        } else {
+            Ok(Verification::Skipped {
+                reason: format!(
+                    "support width {} exceeds the statevector limit {}",
+                    prog.width, MAX_STATE_QUBITS
+                ),
+            })
+        }
+    };
+    match config.level {
+        VerifyLevel::Off => unreachable!("handled above"),
+        VerifyLevel::Sampled => sampled_or_skip(&prog),
+        VerifyLevel::Exact => {
+            if prog.width <= config.max_exact_qubits {
+                oracle::exact(original, &prog, config.tolerance.exact_infidelity)
+            } else {
+                sampled_or_skip(&prog)
+            }
+        }
+    }
+}

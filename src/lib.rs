@@ -20,6 +20,7 @@
 //! | [`transpiler`] | topology zoo, device calibration, (noise-aware) routing, consolidation, scheduling, fidelity |
 //! | [`core`] | baseline vs parallel-drive cost models, codesign, the full flow |
 //! | [`engine`] | batched multi-threaded transpilation with a decomposition cache |
+//! | [`verify`] | semantic equivalence oracles: exact up-to-permutation and Monte-Carlo |
 //!
 //! # Quickstart
 //!
@@ -48,4 +49,5 @@ pub use paradrive_optimizer as optimizer;
 pub use paradrive_sim as sim;
 pub use paradrive_speedlimit as speedlimit;
 pub use paradrive_transpiler as transpiler;
+pub use paradrive_verify as verify;
 pub use paradrive_weyl as weyl;

@@ -15,13 +15,14 @@ fn excited_pair() -> State {
     let mut c = Circuit::new(2);
     c.push_1q(OneQ::X, 0);
     c.push_1q(OneQ::X, 1);
-    State::run(&c)
+    State::run(&c).unwrap()
 }
 
 fn channel_infidelity(duration_pulses: f64, model: FidelityModel) -> f64 {
     let reference = excited_pair();
     let mut rho = Density::from_state(&reference);
-    rho.relax_all(model.to_ns(duration_pulses), model.t1_ns);
+    rho.relax_all(model.to_ns(duration_pulses), model.t1_ns)
+        .unwrap();
     1.0 - rho.fidelity(&reference)
 }
 
@@ -63,9 +64,9 @@ fn model_is_worst_case_over_input_states() {
     plus.push_1q(OneQ::H, 1);
 
     for (label, c) in [("bell", bell), ("plus", plus)] {
-        let reference = State::run(&c);
+        let reference = State::run(&c).unwrap();
         let mut rho = Density::from_state(&reference);
-        rho.relax_all(fm.to_ns(d), fm.t1_ns);
+        rho.relax_all(fm.to_ns(d), fm.t1_ns).unwrap();
         let f = rho.fidelity(&reference);
         assert!(
             f >= bound - 1e-12,
@@ -75,6 +76,6 @@ fn model_is_worst_case_over_input_states() {
     // And the excited pair saturates it.
     let reference = excited_pair();
     let mut rho = Density::from_state(&reference);
-    rho.relax_all(fm.to_ns(d), fm.t1_ns);
+    rho.relax_all(fm.to_ns(d), fm.t1_ns).unwrap();
     assert!((rho.fidelity(&reference) - bound).abs() < 1e-12);
 }

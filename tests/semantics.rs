@@ -47,8 +47,8 @@ fn routing_preserves_semantics_on_2x2_grid() {
     for seed in 0..6 {
         let c = random_circuit(4, 30, seed);
         let routed = route(&c, &map, seed).unwrap();
-        let original = State::run(&c);
-        let physical = State::run(&routed.circuit);
+        let original = State::run(&c).unwrap();
+        let physical = State::run(&routed.circuit).unwrap();
         // The routed state holds logical qubit l at physical routed.layout[l].
         let recovered = physical.permuted(&routed.layout).unwrap();
         let f = original.fidelity(&recovered);
@@ -66,9 +66,10 @@ fn routing_preserves_semantics_on_line() {
         let c = random_circuit(5, 40, 100 + seed);
         let routed = route(&c, &map, seed).unwrap();
         let f = State::run(&routed.circuit)
+            .unwrap()
             .permuted(&routed.layout)
             .unwrap()
-            .fidelity(&State::run(&c));
+            .fidelity(&State::run(&c).unwrap());
         assert!(f > 1.0 - 1e-9, "seed {seed}: fidelity {f}");
     }
 }
@@ -117,8 +118,9 @@ fn quantum_volume_blocks_survive_routing() {
     let c = paradrive::circuit::benchmarks::quantum_volume(4, 3, 11);
     let routed = route(&c, &map, 0).unwrap();
     let f = State::run(&routed.circuit)
+        .unwrap()
         .permuted(&routed.layout)
         .unwrap()
-        .fidelity(&State::run(&c));
+        .fidelity(&State::run(&c).unwrap());
     assert!(f > 1.0 - 1e-9, "fidelity {f}");
 }

@@ -1,0 +1,87 @@
+//! Engine-integrated semantic verification (the acceptance check for the
+//! verify subsystem): with `VerifyLevel::Exact`, every ≤10-qubit suite
+//! circuit — all nine benchmark builders, instantiated at exact-oracle
+//! widths — passes unitary equivalence up to the routed output permutation
+//! across **every topology in the zoo** and a spread of calibration
+//! scenarios, with noise-aware routing on.
+
+use paradrive::circuit::benchmarks;
+use paradrive::circuit::Circuit;
+use paradrive::engine::{run_batch, Batch, EngineConfig, VerifyLevel};
+use paradrive::transpiler::calibration::Calibration;
+use paradrive::transpiler::topology::CouplingMap;
+use std::sync::Arc;
+
+/// The full builder suite at ≤10-qubit widths.
+fn small_suite(seed: u64) -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("QV", benchmarks::quantum_volume(6, 4, seed)),
+        ("VQE_L", benchmarks::vqe_linear(6, 1, seed)),
+        ("GHZ", benchmarks::ghz(6)),
+        ("HLF", benchmarks::hidden_linear_function(6, seed)),
+        ("QFT", benchmarks::qft(6)),
+        ("Adder", benchmarks::adder(2)),
+        ("QAOA", benchmarks::qaoa(6, 2, seed)),
+        ("VQE_F", benchmarks::vqe_full(6, 2, seed)),
+        ("Multiplier", benchmarks::multiplier(1)),
+    ]
+}
+
+#[test]
+fn exact_verification_passes_across_the_zoo_and_calibrations() {
+    let seed = 7;
+    let maps: Vec<Arc<CouplingMap>> = vec![
+        Arc::new(CouplingMap::grid(3, 3)),
+        Arc::new(CouplingMap::ring(8)),
+        Arc::new(CouplingMap::line(8)),
+        Arc::new(CouplingMap::heavy_hex(2)),
+        Arc::new(CouplingMap::modular(2, 4, 1).unwrap()),
+    ];
+    let fidelity = EngineConfig::default().fidelity;
+    let mut batch = Batch::with_shared(Arc::clone(&maps[0]));
+    for map in &maps {
+        let cals = vec![
+            Arc::new(Calibration::uniform(map, fidelity)),
+            Arc::new(Calibration::spread(map, fidelity, 0.3, 17).unwrap()),
+            Arc::new(Calibration::hotspot(map, fidelity, 1, 17).unwrap()),
+            Arc::new(Calibration::gradient(map, fidelity, 1.0).unwrap()),
+        ];
+        for cal in &cals {
+            for (name, circuit) in small_suite(seed) {
+                batch.push_calibrated(
+                    format!("{name}-{}-{}", map.label(), cal.label()),
+                    circuit,
+                    Arc::clone(map),
+                    Arc::clone(cal),
+                );
+            }
+        }
+    }
+
+    let config = EngineConfig::default()
+        .routing_seeds(2)
+        .noise_aware(true)
+        .verify(VerifyLevel::Exact)
+        .threads(4);
+    let report = run_batch(&batch, &config).unwrap();
+    assert_eq!(report.circuits.len(), 5 * 4 * 9);
+
+    for c in &report.circuits {
+        let v = c.verification.as_ref().expect("verification on");
+        // Every device in this batch is ≤ 9 qubits, so the support always
+        // fits the dense oracle: strictly exact, never a sampled fallback.
+        assert_eq!(v.method(), "exact", "{}: {v}", c.result.name);
+        assert!(!v.failed(), "{}: equivalence rejected ({v})", c.result.name);
+    }
+    let summary = report.verification_summary().unwrap();
+    assert_eq!(summary.exact, report.circuits.len());
+    assert_eq!(
+        (summary.sampled, summary.skipped, summary.failed),
+        (0, 0, 0)
+    );
+    assert!(
+        summary.min_fidelity > 1.0 - 1e-9,
+        "min fidelity {}",
+        summary.min_fidelity
+    );
+}
