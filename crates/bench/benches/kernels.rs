@@ -1,11 +1,15 @@
 //! Micro-kernels underpinning every experiment: matrix exponentials,
-//! Weyl-coordinate extraction, Haar sampling and simplex steps.
+//! Weyl-coordinate extraction, Haar sampling, simplex steps — and the
+//! statevector gate-apply kernels, measured on both engines so the
+//! scalar-vs-lanes speedup is part of the tracked perf trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_circuit::{Circuit, OneQ, TwoQ};
 use paradrive_linalg::expm::expm;
 use paradrive_linalg::qr::random_unitary;
 use paradrive_linalg::{paulis, C64};
 use paradrive_optimizer::{NelderMead, Options};
+use paradrive_sim::{KernelPath, State};
 use paradrive_weyl::magic::coordinates;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,11 +49,47 @@ fn bench_nelder_mead(c: &mut Criterion) {
     });
 }
 
+/// A 20-qubit apply-heavy layer spanning every kernel regime: contiguous
+/// high-bit 1Q/2Q runs, the strided low-bit 1Q patterns, and a low-bit 2Q
+/// block — 17 gates, all unitary, so repeated application is stable.
+fn apply_heavy_20q() -> Circuit {
+    let n = 20;
+    let mut c = Circuit::new(n);
+    for q in (0..n).step_by(3) {
+        c.push_1q(OneQ::H, q);
+    }
+    for a in [0, 5, 9, 13, 17] {
+        c.push_2q(TwoQ::Cx, a, a + 1);
+    }
+    for q in (1..n).step_by(5) {
+        c.push_1q(OneQ::Rz(0.3), q);
+    }
+    c.push_2q(TwoQ::ISwap, 18, 19);
+    c
+}
+
+/// The tentpole's headline number: the same 20-qubit workload through the
+/// scalar reference kernels and the lane-parallel engine. The tracked
+/// expectation is lanes ≥ 1.5× scalar on AVX2 hosts.
+fn bench_statevector_apply(c: &mut Criterion) {
+    let circuit = apply_heavy_20q();
+    let mut st = State::zero(20);
+    for (path, label) in [(KernelPath::Scalar, "scalar"), (KernelPath::Lanes, "lanes")] {
+        // Warm once so the register (and any lazily-built state) exists
+        // before timing starts.
+        st.apply_circuit_with(&circuit, path).unwrap();
+        c.bench_function(&format!("kernels/apply_heavy_20q/{label}"), |b| {
+            b.iter(|| st.apply_circuit_with(black_box(&circuit), path).unwrap())
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_expm,
     bench_coordinates,
     bench_haar,
-    bench_nelder_mead
+    bench_nelder_mead,
+    bench_statevector_apply
 );
 criterion_main!(benches);

@@ -115,6 +115,12 @@ impl CMat {
         &self.data
     }
 
+    /// Mutable borrow of the underlying row-major entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Checked entry access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> Option<&C64> {
@@ -167,8 +173,21 @@ impl CMat {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
-        assert_eq!(v.len(), self.cols, "matrix-vector shape mismatch");
         let mut out = vec![C64::ZERO; self.rows];
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product into a caller-owned buffer — the
+    /// allocation-free form of [`CMat::mul_vec`] (bit-identical results)
+    /// for hot loops that reuse `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &[C64], out: &mut [C64]) {
+        assert_eq!(v.len(), self.cols, "matrix-vector shape mismatch");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
         for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = C64::ZERO;
             for (c, &vc) in v.iter().enumerate() {
@@ -176,7 +195,6 @@ impl CMat {
             }
             *slot = acc;
         }
-        out
     }
 
     /// Entrywise sum.

@@ -109,6 +109,63 @@ impl SweepSpec {
     }
 }
 
+/// A rejected topology spec, with the reason classified.
+///
+/// Every variant carries the offending input verbatim so batch callers
+/// (CLI `--topologies`, sweep specs) can report which entry failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyParseError {
+    /// The name matched no family of the grammar.
+    UnknownFamily(String),
+    /// A parameter was not an integer, or the family got the wrong number
+    /// of `x`-separated dimensions.
+    MalformedDims(String),
+    /// A dimension parsed but was zero — a degenerate (empty or
+    /// disconnected) device that the constructors would otherwise panic
+    /// on or silently build.
+    ZeroDim {
+        /// The rejected spec.
+        name: String,
+        /// Which dimension (0-based, in grammar order) was zero.
+        position: usize,
+    },
+    /// The dimensions were well-formed but the topology constructor
+    /// rejected their combination (e.g. more inter-chip links than chip
+    /// qubits).
+    Rejected {
+        /// The rejected spec.
+        name: String,
+        /// The constructor's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TopologyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyParseError::UnknownFamily(name) => write!(
+                f,
+                "unknown topology `{name}` (expected grid<R>x<C>, line<N>, ring<N>, \
+                 heavyhex<D>, or modular<CHIPS>x<SIZE>x<LINKS>)"
+            ),
+            TopologyParseError::MalformedDims(name) => {
+                write!(f, "malformed topology dimensions in `{name}`")
+            }
+            TopologyParseError::ZeroDim { name, position } => write!(
+                f,
+                "degenerate topology `{name}`: dimension {} is zero",
+                position + 1
+            ),
+            TopologyParseError::Rejected { name, reason } => {
+                write!(f, "invalid topology `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyParseError {}
+
 /// Parses a topology name into a coupling map.
 ///
 /// Grammar (case-insensitive, `-`/`_` ignored): `grid<R>x<C>`,
@@ -116,54 +173,64 @@ impl SweepSpec {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for unknown names, malformed
-/// parameters, or parameters the constructors reject.
-pub fn parse_topology(name: &str) -> Result<CouplingMap, String> {
+/// Returns a [`TopologyParseError`] classifying the rejection: unknown
+/// family, malformed dimensions, a zero dimension (`ring0`,
+/// `heavy_hex0`, `modular0x4x1`, …), or constructor-level rejection.
+pub fn parse_topology(name: &str) -> Result<CouplingMap, TopologyParseError> {
     let flat: String = name
         .chars()
         .filter(|c| *c != '-' && *c != '_')
         .collect::<String>()
         .to_ascii_lowercase();
-    let dims = |s: &str| -> Result<Vec<usize>, String> {
+    let malformed = || TopologyParseError::MalformedDims(name.to_string());
+    let dims = |s: &str| -> Result<Vec<usize>, TopologyParseError> {
         s.split('x')
-            .map(|d| d.parse::<usize>().map_err(|_| bad_dims(name)))
+            .map(|d| d.parse::<usize>().map_err(|_| malformed()))
             .collect()
     };
-    fn bad_dims(name: &str) -> String {
-        format!("malformed topology dimensions in `{name}`")
-    }
-    let positive =
-        |v: usize| -> Result<usize, String> { (v > 0).then_some(v).ok_or_else(|| bad_dims(name)) };
+    let positive = |v: usize, position: usize| -> Result<usize, TopologyParseError> {
+        (v > 0).then_some(v).ok_or(TopologyParseError::ZeroDim {
+            name: name.to_string(),
+            position,
+        })
+    };
     if let Some(rest) = flat.strip_prefix("grid") {
         let d = dims(rest)?;
         let [rows, cols] = d[..] else {
-            return Err(bad_dims(name));
+            return Err(malformed());
         };
-        return Ok(CouplingMap::grid(positive(rows)?, positive(cols)?));
+        return Ok(CouplingMap::grid(positive(rows, 0)?, positive(cols, 1)?));
     }
     if let Some(rest) = flat.strip_prefix("line") {
-        let n: usize = rest.parse().map_err(|_| bad_dims(name))?;
-        return Ok(CouplingMap::line(positive(n)?));
+        let n: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::line(positive(n, 0)?));
     }
     if let Some(rest) = flat.strip_prefix("ring") {
-        let n: usize = rest.parse().map_err(|_| bad_dims(name))?;
-        return Ok(CouplingMap::ring(positive(n)?));
+        let n: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::ring(positive(n, 0)?));
     }
     if let Some(rest) = flat.strip_prefix("heavyhex") {
-        let d: usize = rest.parse().map_err(|_| bad_dims(name))?;
-        return Ok(CouplingMap::heavy_hex(positive(d)?));
+        let d: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::heavy_hex(positive(d, 0)?));
     }
     if let Some(rest) = flat.strip_prefix("modular") {
         let d = dims(rest)?;
         let [chips, size, links] = d[..] else {
-            return Err(bad_dims(name));
+            return Err(malformed());
         };
-        return CouplingMap::modular(chips, size, links).map_err(|e| e.to_string());
+        // Links may legitimately be zero for a single chip; the
+        // constructor owns that rule. Chip count and size must be
+        // positive for the device to exist at all.
+        positive(chips, 0)?;
+        positive(size, 1)?;
+        return CouplingMap::modular(chips, size, links).map_err(|e| {
+            TopologyParseError::Rejected {
+                name: name.to_string(),
+                reason: e.to_string(),
+            }
+        });
     }
-    Err(format!(
-        "unknown topology `{name}` (expected grid<R>x<C>, line<N>, ring<N>, \
-         heavyhex<D>, or modular<CHIPS>x<SIZE>x<LINKS>)"
-    ))
+    Err(TopologyParseError::UnknownFamily(name.to_string()))
 }
 
 /// Parses a calibration scenario name against a topology.
@@ -325,7 +392,11 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
     let maps: Vec<Arc<CouplingMap>> = spec
         .topologies
         .iter()
-        .map(|name| parse_topology(name).map(Arc::new))
+        .map(|name| {
+            parse_topology(name)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        })
         .collect::<Result<_, _>>()?;
     // Calibrations are instantiated per topology (they carry per-qubit and
     // per-edge tables of the device's exact shape) from the one sweep-wide
@@ -601,19 +672,63 @@ mod tests {
             let label = parse_topology(name).unwrap().label().to_string();
             assert_eq!(parse_topology(&label).unwrap().label(), label);
         }
-        for bad in [
-            "torus4",
-            "grid4",
-            "gridx4",
-            "ring0",
-            "line0",
-            "modular2x8",
-            "grid0x4",
-        ] {
-            assert!(parse_topology(bad).is_err(), "`{bad}` should be rejected");
+    }
+
+    #[test]
+    fn topology_rejection_grammar_is_typed() {
+        use TopologyParseError as E;
+        let zero = |name: &str, position: usize| E::ZeroDim {
+            name: name.to_string(),
+            position,
+        };
+        // One row per rejection class × family: (spec, expected error).
+        let table: Vec<(&str, E)> = vec![
+            // Unknown families.
+            ("torus4", E::UnknownFamily("torus4".into())),
+            ("", E::UnknownFamily("".into())),
+            // Malformed dimensions: wrong arity or non-integers.
+            ("grid4", E::MalformedDims("grid4".into())),
+            ("gridx4", E::MalformedDims("gridx4".into())),
+            ("grid4x4x4", E::MalformedDims("grid4x4x4".into())),
+            ("line", E::MalformedDims("line".into())),
+            ("ring1.5", E::MalformedDims("ring1.5".into())),
+            ("heavyhexx", E::MalformedDims("heavyhexx".into())),
+            ("modular2x8", E::MalformedDims("modular2x8".into())),
+            ("modular2x8x", E::MalformedDims("modular2x8x".into())),
+            // Degenerate (zero-size) specs, including the aliased
+            // spellings — these used to surface as untyped strings.
+            ("ring0", zero("ring0", 0)),
+            ("line0", zero("line0", 0)),
+            ("grid0x4", zero("grid0x4", 0)),
+            ("grid4x0", zero("grid4x0", 1)),
+            ("heavy_hex0", zero("heavy_hex0", 0)),
+            ("heavy-hex0", zero("heavy-hex0", 0)),
+            ("modular0x4x1", zero("modular0x4x1", 0)),
+            ("modular2x0x1", zero("modular2x0x1", 1)),
+        ];
+        for (spec, expected) in table {
+            assert_eq!(
+                parse_topology(spec).unwrap_err(),
+                expected,
+                "`{spec}` misclassified"
+            );
         }
-        // Constructor-level rejections surface as messages, not panics.
-        assert!(parse_topology("modular2x8x9").is_err());
+        // Constructor-level rejections (well-formed, positive dimensions,
+        // impossible combination) surface as typed errors, not panics.
+        for bad in ["modular2x8x9", "modular2x8x0"] {
+            match parse_topology(bad).unwrap_err() {
+                E::Rejected { name, reason } => {
+                    assert_eq!(name, bad);
+                    assert!(!reason.is_empty());
+                }
+                other => panic!("`{bad}`: expected Rejected, got {other:?}"),
+            }
+        }
+        // But zero links on a single chip is a real device.
+        assert!(parse_topology("modular1x4x0").is_ok());
+        // Errors render through Display for CLI surfacing.
+        let msg = parse_topology("ring0").unwrap_err().to_string();
+        assert!(msg.contains("ring0"), "{msg}");
     }
 
     #[test]

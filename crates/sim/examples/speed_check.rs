@@ -1,0 +1,87 @@
+use paradrive_circuit::{Circuit, OneQ, TwoQ};
+use paradrive_sim::{KernelPath, State};
+use std::time::Instant;
+
+fn time_circuit(c: &Circuit, label: &str) {
+    let n = c.n_qubits();
+    let mut ms = [0.0f64; 2];
+    for (i, path) in [KernelPath::Scalar, KernelPath::Lanes]
+        .into_iter()
+        .enumerate()
+    {
+        let mut st = State::zero(n);
+        st.apply_circuit_with(c, path).unwrap(); // warm
+        let t = Instant::now();
+        for _ in 0..3 {
+            st.apply_circuit_with(c, path).unwrap();
+        }
+        ms[i] = t.elapsed().as_secs_f64() * 1e3 / 3.0;
+    }
+    println!(
+        "{label}: scalar {:.1} ms, lanes {:.1} ms, speedup {:.2}x",
+        ms[0],
+        ms[1],
+        ms[0] / ms[1]
+    );
+}
+
+fn main() {
+    let n = 20;
+    println!(
+        "detected: {:?}, lanes_available: {}",
+        KernelPath::detected(),
+        paradrive_sim::lanes_available()
+    );
+
+    // The mixed workload (what PR 5's scalar path ran).
+    let mut mixed = Circuit::new(n);
+    for q in 0..n {
+        mixed.push_1q(OneQ::H, q);
+    }
+    for a in 0..n - 1 {
+        mixed.push_2q(TwoQ::Cx, a, a + 1);
+    }
+    for q in 0..n {
+        mixed.push_1q(OneQ::Rz(0.3), q);
+    }
+    for a in (0..n - 1).step_by(2) {
+        mixed.push_2q(TwoQ::ISwap, a, a + 1);
+    }
+    time_circuit(&mixed, "mixed   ");
+
+    // 1Q-only, contiguous-run regime (bit >= 4 i.e. q <= n-5).
+    let mut q1_hi = Circuit::new(n);
+    for _ in 0..4 {
+        for q in 0..n - 4 {
+            q1_hi.push_1q(OneQ::H, q);
+        }
+    }
+    time_circuit(&q1_hi, "1q high ");
+
+    // 1Q-only, strided low bits (q in n-4..n).
+    let mut q1_lo = Circuit::new(n);
+    for _ in 0..16 {
+        for q in n - 4..n {
+            q1_lo.push_1q(OneQ::H, q);
+        }
+    }
+    time_circuit(&q1_lo, "1q low  ");
+
+    // 2Q-only, contiguous regime (both bits >= 4).
+    let mut q2_hi = Circuit::new(n);
+    for _ in 0..2 {
+        for a in 0..n - 6 {
+            q2_hi.push_2q(TwoQ::Cx, a, a + 1);
+        }
+    }
+    time_circuit(&q2_hi, "2q high ");
+
+    // 2Q-only, small-bit fallback regime.
+    let mut q2_lo = Circuit::new(n);
+    for _ in 0..9 {
+        for a in n - 4..n - 1 {
+            q2_lo.push_2q(TwoQ::Cx, a, a + 1);
+        }
+    }
+    time_circuit(&q2_lo, "2q low  ");
+}

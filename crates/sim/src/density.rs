@@ -6,6 +6,7 @@
 //! qubit; this module lets tests *derive* the model from channel-level
 //! simulation instead of assuming it.
 
+use crate::kernels::{self, KernelPath};
 use crate::{SimError, State};
 use paradrive_circuit::{Circuit, Op};
 use paradrive_linalg::{CMat, C64};
@@ -64,6 +65,19 @@ impl Density {
     /// Returns [`SimError::WidthMismatch`] when the circuit's width differs
     /// from the register's, and propagates gate-application errors.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        self.apply_circuit_with(circuit, KernelPath::detected())
+    }
+
+    /// [`Density::apply_circuit`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Density::apply_circuit`].
+    pub fn apply_circuit_with(
+        &mut self,
+        circuit: &Circuit,
+        path: KernelPath,
+    ) -> Result<(), SimError> {
         if circuit.n_qubits() != self.n {
             return Err(SimError::WidthMismatch {
                 circuit: circuit.n_qubits(),
@@ -72,16 +86,17 @@ impl Density {
         }
         for op in circuit.ops() {
             match op {
-                Op::OneQ { gate, q } => self.conjugate_1q(&gate.unitary(), *q)?,
-                Op::TwoQ { gate, a, b } => self.conjugate_2q(&gate.unitary(), *a, *b)?,
+                Op::OneQ { gate, q } => self.conjugate_1q_with(&gate.unitary(), *q, path)?,
+                Op::TwoQ { gate, a, b } => self.conjugate_2q_with(&gate.unitary(), *a, *b, path)?,
             }
         }
         Ok(())
     }
 
-    /// Conjugates by a 2×2 unitary on qubit `q`: `ρ → U_q ρ U_q†`, mixing
-    /// row pairs then column pairs directly instead of building the `2^n`
-    /// embedding.
+    /// Conjugates by a 2×2 unitary on qubit `q`: `ρ → U_q ρ U_q†`, as
+    /// whole-row mixes (left factor) and per-row 1Q kernel applies (right
+    /// factor) — contiguous traffic instead of the `2^n`-strided
+    /// column-by-column walk, sharing the statevector kernels.
     ///
     /// # Errors
     ///
@@ -91,6 +106,20 @@ impl Density {
     ///
     /// Panics if `g` is not 2×2.
     pub fn conjugate_1q(&mut self, g: &CMat, q: usize) -> Result<(), SimError> {
+        self.conjugate_1q_with(g, q, KernelPath::detected())
+    }
+
+    /// [`Density::conjugate_1q`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Density::conjugate_1q`].
+    pub fn conjugate_1q_with(
+        &mut self,
+        g: &CMat,
+        q: usize,
+        path: KernelPath,
+    ) -> Result<(), SimError> {
         if q >= self.n {
             return Err(SimError::QubitOutOfRange {
                 qubit: q,
@@ -101,26 +130,20 @@ impl Density {
         let d = 1usize << self.n;
         let bit = 1usize << (self.n - 1 - q);
         let low = bit - 1;
-        let (g00, g01, g10, g11) = (g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]);
-        // Left multiply by U: rows mix within each column.
-        for c in 0..d {
-            for k in 0..d / 2 {
-                let i = ((k & !low) << 1) | (k & low);
-                let j = i | bit;
-                let (x, y) = (self.mat[(i, c)], self.mat[(j, c)]);
-                self.mat[(i, c)] = g00 * x + g01 * y;
-                self.mat[(j, c)] = g10 * x + g11 * y;
-            }
+        let ga = [g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]];
+        let data = self.mat.as_mut_slice();
+        // Left multiply by U: rows i and j mix elementwise.
+        for k in 0..d / 2 {
+            let i = ((k & !low) << 1) | (k & low);
+            let j = i | bit;
+            let (head, tail) = data.split_at_mut(j * d);
+            kernels::mix_rows_1q(path, &mut head[i * d..(i + 1) * d], &mut tail[..d], ga);
         }
-        // Right multiply by U†: columns mix within each row.
-        for r in 0..d {
-            for k in 0..d / 2 {
-                let i = ((k & !low) << 1) | (k & low);
-                let j = i | bit;
-                let (x, y) = (self.mat[(r, i)], self.mat[(r, j)]);
-                self.mat[(r, i)] = x * g00.conj() + y * g01.conj();
-                self.mat[(r, j)] = x * g10.conj() + y * g11.conj();
-            }
+        // Right multiply by U†: each row is a 1Q apply with Ū (the
+        // conjugate — adjoint of the adjoint's column action).
+        let gc = [ga[0].conj(), ga[1].conj(), ga[2].conj(), ga[3].conj()];
+        for row in data.chunks_exact_mut(d) {
+            kernels::apply_1q(path, row, bit, gc);
         }
         Ok(())
     }
@@ -137,6 +160,21 @@ impl Density {
     ///
     /// Panics if `g` is not 4×4.
     pub fn conjugate_2q(&mut self, g: &CMat, a: usize, b: usize) -> Result<(), SimError> {
+        self.conjugate_2q_with(g, a, b, KernelPath::detected())
+    }
+
+    /// [`Density::conjugate_2q`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Density::conjugate_2q`].
+    pub fn conjugate_2q_with(
+        &mut self,
+        g: &CMat,
+        a: usize,
+        b: usize,
+        path: KernelPath,
+    ) -> Result<(), SimError> {
         for q in [a, b] {
             if q >= self.n {
                 return Err(SimError::QubitOutOfRange {
@@ -154,38 +192,39 @@ impl Density {
         let bit_b = 1usize << (self.n - 1 - b);
         let (small, big) = (bit_a.min(bit_b), bit_a.max(bit_b));
         let (low_s, low_b) = (small - 1, big - 1);
-        let block = |k: usize| {
-            let t = ((k & !low_s) << 1) | (k & low_s);
-            let i = ((t & !low_b) << 1) | (t & low_b);
-            [i, i | bit_b, i | bit_a, i | bit_a | bit_b]
-        };
-        // Left multiply by U: row blocks mix within each column.
-        for c in 0..d {
-            for k in 0..d / 4 {
-                let idx = block(k);
-                let old = idx.map(|i| self.mat[(i, c)]);
-                for (r, &i) in idx.iter().enumerate() {
-                    let mut acc = C64::ZERO;
-                    for (s, &x) in old.iter().enumerate() {
-                        acc += g[(r, s)] * x;
-                    }
-                    self.mat[(i, c)] = acc;
-                }
+        let mut m = [[C64::ZERO; 4]; 4];
+        let mut mc = [[C64::ZERO; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                m[r][c] = g[(r, c)];
+                mc[r][c] = g[(r, c)].conj();
             }
         }
-        // Right multiply by U†: column blocks mix within each row.
-        for r in 0..d {
-            for k in 0..d / 4 {
-                let idx = block(k);
-                let old = idx.map(|i| self.mat[(r, i)]);
-                for (c, &i) in idx.iter().enumerate() {
-                    let mut acc = C64::ZERO;
-                    for (s, &x) in old.iter().enumerate() {
-                        acc += x * g[(c, s)].conj();
-                    }
-                    self.mat[(r, i)] = acc;
-                }
-            }
+        let data = self.mat.as_mut_slice();
+        // Left multiply by U: the four rows of each block mix elementwise.
+        // Blocks are carved out in ascending row order, then handed to the
+        // kernel in the logical (a-high) order the matrix uses.
+        for k in 0..d / 4 {
+            let t = ((k & !low_s) << 1) | (k & low_s);
+            let i = ((t & !low_b) << 1) | (t & low_b);
+            let asc = [i, i | small, i | big, i | small | big];
+            let (head, rest) = data[asc[0] * d..].split_at_mut((asc[1] - asc[0]) * d);
+            let (mid, rest) = rest.split_at_mut((asc[2] - asc[1]) * d);
+            let (mid2, rest) = rest.split_at_mut((asc[3] - asc[2]) * d);
+            let r0 = &mut head[..d];
+            let r1 = &mut mid[..d];
+            let r2 = &mut mid2[..d];
+            let r3 = &mut rest[..d];
+            let rows = if bit_a > bit_b {
+                [r0, r1, r2, r3]
+            } else {
+                [r0, r2, r1, r3]
+            };
+            kernels::mix_rows_2q(path, rows, &m);
+        }
+        // Right multiply by U†: each row is a 2Q apply with Ū.
+        for row in data.chunks_exact_mut(d) {
+            kernels::apply_2q(path, row, bit_a, bit_b, &mc);
         }
         Ok(())
     }

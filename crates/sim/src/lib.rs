@@ -25,13 +25,18 @@
 //! assert!((p[0b11] - 0.5).abs() < 1e-12);
 //! # Ok::<(), paradrive_sim::SimError>(())
 //! ```
-#![forbid(unsafe_code)]
+// Deny rather than forbid: the kernel module's AVX dispatch carries the
+// crate's one sanctioned `unsafe` (a feature-checked call to a
+// `#[target_feature]` function); see `kernels::avx`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod density;
+pub mod kernels;
 mod state;
 
 pub use density::{Density, MAX_DENSITY_QUBITS};
+pub use kernels::{lanes_available, KernelPath};
 pub use state::{circuit_unitary, heavy_output_probability, State, MAX_STATE_QUBITS};
 
 /// Errors produced by the simulator.

@@ -1,5 +1,6 @@
 //! The statevector and gate application kernels.
 
+use crate::kernels::{self, KernelPath};
 use crate::SimError;
 use paradrive_circuit::{Circuit, Op};
 use paradrive_linalg::{CMat, C64};
@@ -8,10 +9,32 @@ use rand::Rng;
 /// An `n`-qubit pure state of `2^n` complex amplitudes.
 ///
 /// Qubit 0 is the most-significant index bit.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The register owns a scratch buffer so the in-place permutation path
+/// ([`State::permute`]) allocates nothing after its first use. Scratch is
+/// invisible: it never participates in equality and is not carried by
+/// clones.
+#[derive(Debug)]
 pub struct State {
     n: usize,
     amps: Vec<C64>,
+    scratch: Vec<C64>,
+}
+
+impl Clone for State {
+    fn clone(&self) -> Self {
+        State {
+            n: self.n,
+            amps: self.amps.clone(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.amps == other.amps
+    }
 }
 
 /// Widest register [`State`] will allocate (`2^26` amplitudes ≈ 1 GiB).
@@ -26,7 +49,11 @@ impl State {
         );
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
-        State { n, amps }
+        State {
+            n,
+            amps,
+            scratch: Vec::new(),
+        }
     }
 
     /// The computational basis state `|index⟩` over `n` qubits.
@@ -50,7 +77,11 @@ impl State {
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let n = amps.len().trailing_zeros() as usize;
         assert_eq!(1usize << n, amps.len(), "length must be a power of two");
-        State { n, amps }
+        State {
+            n,
+            amps,
+            scratch: Vec::new(),
+        }
     }
 
     /// Number of qubits.
@@ -63,12 +94,12 @@ impl State {
         &self.amps
     }
 
-    /// Applies a 2×2 unitary to qubit `q`.
+    /// Applies a 2×2 unitary to qubit `q` via the process-default
+    /// [`KernelPath`].
     ///
-    /// The kernel walks each amplitude pair exactly once in ascending
-    /// memory order (no per-index branch): iteration `k` re-inserts a zero
-    /// bit at the target position, so consecutive iterations touch
-    /// consecutive cache lines.
+    /// Each amplitude pair is mixed exactly once, in ascending memory
+    /// order; the scalar and lane engines are bit-identical (see
+    /// [`crate::kernels`]).
     ///
     /// # Errors
     ///
@@ -78,6 +109,15 @@ impl State {
     ///
     /// Panics if `g` is not 2×2.
     pub fn apply_1q(&mut self, g: &CMat, q: usize) -> Result<(), SimError> {
+        self.apply_1q_with(g, q, KernelPath::detected())
+    }
+
+    /// [`State::apply_1q`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`State::apply_1q`].
+    pub fn apply_1q_with(&mut self, g: &CMat, q: usize, path: KernelPath) -> Result<(), SimError> {
         if q >= self.n {
             return Err(SimError::QubitOutOfRange {
                 qubit: q,
@@ -86,23 +126,17 @@ impl State {
         }
         assert_eq!((g.rows(), g.cols()), (2, 2));
         let bit = 1usize << (self.n - 1 - q);
-        let low = bit - 1;
-        let (g00, g01, g10, g11) = (g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]);
-        for k in 0..self.amps.len() / 2 {
-            let i = ((k & !low) << 1) | (k & low);
-            let j = i | bit;
-            let (a, b) = (self.amps[i], self.amps[j]);
-            self.amps[i] = g00 * a + g01 * b;
-            self.amps[j] = g10 * a + g11 * b;
-        }
+        let g = [g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]];
+        kernels::apply_1q(path, &mut self.amps, bit, g);
         Ok(())
     }
 
-    /// Applies a 4×4 unitary to qubits `(a, b)` with `a` as the high bit.
+    /// Applies a 4×4 unitary to qubits `(a, b)` with `a` as the high bit,
+    /// via the process-default [`KernelPath`].
     ///
-    /// Like [`State::apply_1q`], the kernel enumerates the 4-amplitude
-    /// blocks directly (two zero-bit insertions per iteration) instead of
-    /// scanning and skipping, and keeps the 16 matrix entries in locals.
+    /// The 4-amplitude blocks are enumerated directly (two zero-bit
+    /// insertions per iteration) with the 16 matrix entries in registers;
+    /// both engines are bit-identical (see [`crate::kernels`]).
     ///
     /// # Errors
     ///
@@ -113,6 +147,21 @@ impl State {
     ///
     /// Panics if `g` is not 4×4.
     pub fn apply_2q(&mut self, g: &CMat, a: usize, b: usize) -> Result<(), SimError> {
+        self.apply_2q_with(g, a, b, KernelPath::detected())
+    }
+
+    /// [`State::apply_2q`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`State::apply_2q`].
+    pub fn apply_2q_with(
+        &mut self,
+        g: &CMat,
+        a: usize,
+        b: usize,
+        path: KernelPath,
+    ) -> Result<(), SimError> {
         for q in [a, b] {
             if q >= self.n {
                 return Err(SimError::QubitOutOfRange {
@@ -127,30 +176,13 @@ impl State {
         assert_eq!((g.rows(), g.cols()), (4, 4));
         let bit_a = 1usize << (self.n - 1 - a);
         let bit_b = 1usize << (self.n - 1 - b);
-        let (small, big) = (bit_a.min(bit_b), bit_a.max(bit_b));
-        let (low_s, low_b) = (small - 1, big - 1);
         let mut m = [[C64::ZERO; 4]; 4];
         for (r, row) in m.iter_mut().enumerate() {
             for (c, cell) in row.iter_mut().enumerate() {
                 *cell = g[(r, c)];
             }
         }
-        for k in 0..self.amps.len() / 4 {
-            // Insert zero bits at the lower, then the higher position.
-            let t = ((k & !low_s) << 1) | (k & low_s);
-            let i = ((t & !low_b) << 1) | (t & low_b);
-            let idx = [i, i | bit_b, i | bit_a, i | bit_a | bit_b];
-            let old = [
-                self.amps[idx[0]],
-                self.amps[idx[1]],
-                self.amps[idx[2]],
-                self.amps[idx[3]],
-            ];
-            for (r, &out_i) in idx.iter().enumerate() {
-                self.amps[out_i] =
-                    m[r][0] * old[0] + m[r][1] * old[1] + m[r][2] * old[2] + m[r][3] * old[3];
-            }
-        }
+        kernels::apply_2q(path, &mut self.amps, bit_a, bit_b, &m);
         Ok(())
     }
 
@@ -162,6 +194,15 @@ impl State {
     /// propagates gate-application errors (which cannot occur for circuits
     /// built through the checked [`Circuit`] API).
     pub fn run(circuit: &Circuit) -> Result<State, SimError> {
+        State::run_with(circuit, KernelPath::detected())
+    }
+
+    /// [`State::run`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`State::run`].
+    pub fn run_with(circuit: &Circuit, path: KernelPath) -> Result<State, SimError> {
         let n = circuit.n_qubits();
         if n > MAX_STATE_QUBITS {
             return Err(SimError::TooWide {
@@ -170,7 +211,7 @@ impl State {
             });
         }
         let mut s = State::zero(n);
-        s.apply_circuit(circuit)?;
+        s.apply_circuit_with(circuit, path)?;
         Ok(s)
     }
 
@@ -181,6 +222,19 @@ impl State {
     /// Returns [`SimError::WidthMismatch`] when the circuit's width differs
     /// from the register's, and propagates gate-application errors.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        self.apply_circuit_with(circuit, KernelPath::detected())
+    }
+
+    /// [`State::apply_circuit`] on an explicit kernel path.
+    ///
+    /// # Errors
+    ///
+    /// As [`State::apply_circuit`].
+    pub fn apply_circuit_with(
+        &mut self,
+        circuit: &Circuit,
+        path: KernelPath,
+    ) -> Result<(), SimError> {
         if circuit.n_qubits() != self.n {
             return Err(SimError::WidthMismatch {
                 circuit: circuit.n_qubits(),
@@ -189,8 +243,8 @@ impl State {
         }
         for op in circuit.ops() {
             match op {
-                Op::OneQ { gate, q } => self.apply_1q(&gate.unitary(), *q)?,
-                Op::TwoQ { gate, a, b } => self.apply_2q(&gate.unitary(), *a, *b)?,
+                Op::OneQ { gate, q } => self.apply_1q_with(&gate.unitary(), *q, path)?,
+                Op::TwoQ { gate, a, b } => self.apply_2q_with(&gate.unitary(), *a, *b, path)?,
             }
         }
         Ok(())
@@ -248,26 +302,34 @@ impl State {
         self.amps.len() - 1
     }
 
-    /// Relabels qubits: `perm[logical] = physical` — the final layout a
-    /// router reports. Produces the state in which logical qubit `l`'s
-    /// amplitude pattern sits at position `l` again.
+    /// Relabels qubits in place: `perm[logical] = physical` — the final
+    /// layout a router reports. Afterwards logical qubit `l`'s amplitude
+    /// pattern sits at position `l` again.
+    ///
+    /// The shuffle runs through the state-owned scratch buffer, so after
+    /// the first call on a given register this allocates nothing — the
+    /// verify oracles permute once per column/sample and rely on that.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::BadPermutation`] if `perm` is not a permutation
-    /// of `0..n`.
-    pub fn permuted(&self, perm: &[usize]) -> Result<State, SimError> {
+    /// of `0..n`; the state is untouched on error.
+    pub fn permute(&mut self, perm: &[usize]) -> Result<(), SimError> {
         if perm.len() != self.n {
             return Err(SimError::BadPermutation);
         }
-        let mut seen = vec![false; self.n];
+        // Duplicate/range check on a bitmask — no allocation (n ≤ 63 for
+        // any state that fits in memory).
+        let mut seen = 0u64;
         for &p in perm {
-            if p >= self.n || seen[p] {
+            if p >= self.n || seen >> p & 1 == 1 {
                 return Err(SimError::BadPermutation);
             }
-            seen[p] = true;
+            seen |= 1 << p;
         }
-        let mut amps = vec![C64::ZERO; self.amps.len()];
+        if self.scratch.len() != self.amps.len() {
+            self.scratch.resize(self.amps.len(), C64::ZERO);
+        }
         for (i, &a) in self.amps.iter().enumerate() {
             // Build the index where logical qubit l takes the bit that
             // currently sits at physical position perm[l].
@@ -276,9 +338,95 @@ impl State {
                 let bit = (i >> (self.n - 1 - p)) & 1;
                 j |= bit << (self.n - 1 - l);
             }
-            amps[j] = a;
+            self.scratch[j] = a;
         }
-        Ok(State { n: self.n, amps })
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+        Ok(())
+    }
+
+    /// Like [`State::permute`], but returns the relabelled state and
+    /// leaves `self` untouched (one fresh allocation for the copy).
+    ///
+    /// # Errors
+    ///
+    /// As [`State::permute`].
+    pub fn permuted(&self, perm: &[usize]) -> Result<State, SimError> {
+        let mut out = self.clone();
+        out.permute(perm)?;
+        Ok(out)
+    }
+
+    /// Resets to `|0…0⟩` without reallocating.
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
+    }
+
+    /// Resets to the computational basis state `|index⟩` without
+    /// reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2^n` (as [`State::basis`]).
+    pub fn reset_basis(&mut self, index: usize) {
+        assert!(index < self.amps.len(), "basis index out of range");
+        self.amps.fill(C64::ZERO);
+        self.amps[index] = C64::ONE;
+    }
+
+    /// Resets to the product state `⊗_q (factors[2q]·|0⟩ + factors[2q+1]·|1⟩)`
+    /// without reallocating.
+    ///
+    /// Built by in-place doubling, qubit 0 ending up as the high index
+    /// bit. Each amplitude is the same left-to-right factor product the
+    /// equivalent sequence of 1Q applies on `|0…0⟩` would compute, so the
+    /// construction is bit-identical to that (O(n·2ⁿ) slower) route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] unless `factors` holds exactly
+    /// `2n` entries.
+    pub fn reset_product(&mut self, factors: &[C64]) -> Result<(), SimError> {
+        if factors.len() != 2 * self.n {
+            return Err(SimError::WidthMismatch {
+                circuit: factors.len() / 2,
+                state: self.n,
+            });
+        }
+        self.amps[0] = C64::ONE;
+        let mut len = 1usize;
+        for pair in factors.chunks_exact(2) {
+            let (v0, v1) = (pair[0], pair[1]);
+            for j in (0..len).rev() {
+                let base = self.amps[j];
+                self.amps[2 * j + 1] = base * v1;
+                self.amps[2 * j] = base * v0;
+            }
+            len *= 2;
+        }
+        Ok(())
+    }
+
+    /// Resets to `logical ⊗ |0…0⟩` — the logical state on the top wires,
+    /// every remaining (ancilla) wire in `|0⟩` — without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if `logical` is wider than this
+    /// register.
+    pub fn reset_embed(&mut self, logical: &State) -> Result<(), SimError> {
+        if logical.n > self.n {
+            return Err(SimError::WidthMismatch {
+                circuit: logical.n,
+                state: self.n,
+            });
+        }
+        let anc_bits = self.n - logical.n;
+        self.amps.fill(C64::ZERO);
+        for (y, &a) in logical.amps.iter().enumerate() {
+            self.amps[y << anc_bits] = a;
+        }
+        Ok(())
     }
 }
 

@@ -31,11 +31,14 @@ pub(crate) fn exact(
     let anc_mask = (1usize << anc_bits) - 1;
     let dl = 1usize << prog.n_logical;
     let mut tr = C64::ZERO;
+    // One register reused across all columns: after the first column's
+    // permute warms the scratch buffer, the whole sweep is allocation-free.
+    let mut st = State::zero(s);
     for col in 0..d {
-        let mut st = State::basis(s, col);
+        st.reset_basis(col);
         prog.apply_to(&mut st)?;
-        let v = st.permuted(&prog.perm)?;
-        let va = v.amplitudes();
+        st.permute(&prog.perm)?;
+        let va = st.amplitudes();
         // Column `col = (x, anc)` of W is (U_orig e_x) ⊗ e_anc.
         let x = col >> anc_bits;
         let anc = col & anc_mask;
@@ -66,36 +69,38 @@ pub(crate) fn sampled(
     let anc_bits = prog.width - n_log;
     let samples = samples.max(1);
     let mut min_fidelity = f64::INFINITY;
+    // Buffers reused across every sample: the per-qubit preparation
+    // columns and the two registers. After the first sample's permute
+    // warms the scratch buffer, the Monte-Carlo loop is allocation-free
+    // up to the 2×2 `u3` gate construction.
+    let e0 = [C64::ONE, C64::ZERO];
+    let mut factors = vec![C64::ZERO; 2 * n_log];
+    let mut orig = State::zero(n_log);
+    let mut phys = State::zero(prog.width);
     for k in 0..samples {
         // One deterministic stream per (seed, sample); the golden-ratio
         // stride decorrelates neighbouring sample seeds.
         let mut rng = StdRng::seed_from_u64(
             seed.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
-        let prep: Vec<_> = (0..n_log)
-            .map(|_| {
-                paulis::u3(
-                    rng.gen_range(0.0..PI),
-                    rng.gen_range(0.0..TAU),
-                    rng.gen_range(0.0..TAU),
-                )
-            })
-            .collect();
-
-        let mut orig = State::zero(n_log);
-        for (q, g) in prep.iter().enumerate() {
-            orig.apply_1q(g, q)?;
+        // Each qubit's prepared single-qubit vector is u3·|0⟩ — the
+        // matrix's first column, extracted without a fresh allocation.
+        for q in 0..n_log {
+            let g = paulis::u3(
+                rng.gen_range(0.0..PI),
+                rng.gen_range(0.0..TAU),
+                rng.gen_range(0.0..TAU),
+            );
+            g.mul_vec_into(&e0, &mut factors[2 * q..2 * q + 2]);
         }
-        orig.apply_circuit(original)?;
 
         // The router's initial layout is trivial, so the same product
-        // state enters on compact wires 0..n_log.
-        let mut phys = State::zero(prog.width);
-        for (q, g) in prep.iter().enumerate() {
-            phys.apply_1q(g, q)?;
-        }
+        // state enters on compact wires 0..n_log (ancillas stay |0⟩).
+        orig.reset_product(&factors)?;
+        phys.reset_embed(&orig)?;
+        orig.apply_circuit(original)?;
         prog.apply_to(&mut phys)?;
-        let phys = phys.permuted(&prog.perm)?;
+        phys.permute(&prog.perm)?;
 
         // ⟨original ⊗ 0…0 | permuted physical⟩.
         let pa = phys.amplitudes();

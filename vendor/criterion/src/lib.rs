@@ -10,6 +10,17 @@
 //! It honors the two CLI flags cargo's test/bench machinery passes to
 //! `harness = false` targets: `--test` (run each benchmark once, for
 //! `cargo test --benches`) and a filter string (run only matching ids).
+//!
+//! Four environment variables drive machine-readable measurement runs
+//! (the `bench_report` harness in `crates/bench` sets all of them):
+//!
+//! - `CRITERION_SAMPLE_SIZE` — overrides the sample count, winning over
+//!   any builder configuration so one knob bounds every suite.
+//! - `CRITERION_MEASUREMENT_MS` / `CRITERION_WARMUP_MS` — override the
+//!   per-benchmark measurement budget and warm-up duration, likewise.
+//! - `CRITERION_JSON` — a file path; each finished benchmark appends one
+//!   JSON line `{"id":…,"min_ns":…,"median_ns":…,"mean_ns":…,"samples":…}`
+//!   (nothing is emitted in `--test` mode).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -59,7 +70,10 @@ impl Criterion {
         self
     }
 
-    /// Applies the CLI arguments cargo passes to `harness = false` targets.
+    /// Applies the CLI arguments cargo passes to `harness = false`
+    /// targets, then the `CRITERION_*` environment overrides (which win
+    /// over builder configuration — the whole point is letting one
+    /// external harness bound every suite uniformly).
     pub fn configure_from_args(mut self) -> Self {
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
@@ -72,6 +86,15 @@ impl Criterion {
                     }
                 }
             }
+        }
+        if let Some(n) = env_u64("CRITERION_SAMPLE_SIZE") {
+            self.sample_size = (n as usize).max(1);
+        }
+        if let Some(ms) = env_u64("CRITERION_MEASUREMENT_MS") {
+            self.measurement_time = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("CRITERION_WARMUP_MS") {
+            self.warm_up_time = Duration::from_millis(ms);
         }
         self
     }
@@ -183,7 +206,41 @@ impl Bencher {
             fmt_ns(median),
             fmt_ns(mean),
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                append_json_line(&path, id, min, median, mean, n);
+            }
+        }
     }
+}
+
+/// Appends one machine-readable result line to the `CRITERION_JSON` file.
+/// Failures are reported but never abort the run — a broken report file
+/// should not take the measurements down with it.
+fn append_json_line(path: &str, id: &str, min: f64, median: f64, mean: f64, samples: usize) {
+    use std::io::Write;
+    let escaped: String = id
+        .chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            _ => vec![ch],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{samples}}}\n",
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: failed to append to CRITERION_JSON ({path}): {e}");
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 fn fmt_ns(ns: f64) -> String {
