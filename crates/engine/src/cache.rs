@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Hit/miss counters and current size of a [`DecompositionCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -57,6 +58,29 @@ impl CacheStats {
     }
 }
 
+/// Counters for one lock domain of a [`DecompositionCache`] (see
+/// [`DecompositionCache::shard_stats`]).
+///
+/// Shard assignment comes from a per-cache `RandomState` hasher, so the
+/// *distribution* across shards varies run to run even though the summed
+/// totals are deterministic. Per-shard numbers therefore belong in traces
+/// (wall-clock-bearing diagnostics), never in deterministic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Lookups this shard answered from its table.
+    pub hits: u64,
+    /// Lookups that ran the wrapped cost model.
+    pub misses: u64,
+    /// Fresh cells installed (one per distinct coordinate seen).
+    pub inserts: u64,
+    /// Nanoseconds threads spent blocked on another thread's in-flight
+    /// `OnceLock` computation (the cold-start thundering-herd cost the
+    /// cell design amortizes).
+    pub wait_ns: u64,
+    /// Distinct entries currently stored.
+    pub entries: usize,
+}
+
 /// One shard entry: the exact query coordinates and a write-once cell the
 /// first owner fills (waiters block on it instead of recomputing).
 /// Near-identical points that share a [`WeylKey`] bucket but differ in
@@ -64,16 +88,25 @@ impl CacheStats {
 /// practice — the quantum is below extraction noise).
 type Bucket = Vec<(WeylPoint, Arc<OnceLock<GateCost>>)>;
 
+/// One lock domain: its table plus its own counters, so the hot path
+/// never touches cache-global atomics shared across every worker.
+#[derive(Default)]
+struct Shard {
+    table: RwLock<HashMap<WeylKey, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
 /// A sharded memoization table for [`CostModel::cost`].
 ///
 /// One cache serves one model — costs are a property of the (model,
 /// target) pair, so wrap each model in its own cache (or its own
 /// [`CachedCostModel`]).
 pub struct DecompositionCache {
-    shards: Vec<RwLock<HashMap<WeylKey, Bucket>>>,
+    shards: Vec<Shard>,
     hasher: RandomState,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl Default for DecompositionCache {
@@ -100,14 +133,12 @@ impl DecompositionCache {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "cache needs at least one shard");
         DecompositionCache {
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             hasher: RandomState::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, key: WeylKey) -> &RwLock<HashMap<WeylKey, Bucket>> {
+    fn shard_of(&self, key: WeylKey) -> &Shard {
         let h = self.hasher.hash_one(key);
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
@@ -131,61 +162,92 @@ impl DecompositionCache {
                 .map(|(_, cell)| Arc::clone(cell))
         };
         let cell = {
-            let table = shard.read().expect("cache shard poisoned");
+            let table = shard.table.read().expect("cache shard poisoned");
             table.get(&key).and_then(find)
         };
         let cell = cell.unwrap_or_else(|| {
             // Install (or adopt a racer's) empty cell under a short write
             // lock; the model itself never runs while a shard is locked.
-            let mut table = shard.write().expect("cache shard poisoned");
+            let mut table = shard.table.write().expect("cache shard poisoned");
             let bucket = table.entry(key).or_default();
             find(bucket).unwrap_or_else(|| {
                 let fresh = Arc::new(OnceLock::new());
                 bucket.push((target, Arc::clone(&fresh)));
+                shard.inserts.fetch_add(1, Ordering::Relaxed);
                 fresh
             })
         });
+        // The warm path: the cell is already filled — count the hit and
+        // skip the clock entirely.
+        if let Some(cost) = cell.get() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return *cost;
+        }
         // First owner computes (possibly milliseconds of synthesis); every
         // concurrent waiter blocks here instead of duplicating the work.
+        // Waiters still count as hits (the totals stay identical to the
+        // pre-instrumented cache), but their blocked time is attributed to
+        // the shard's `wait_ns` so traces can show the cold-start herd.
+        let blocked = Instant::now();
         let mut computed = false;
         let cost = *cell.get_or_init(|| {
             computed = true;
             model.cost(target)
         });
         if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            shard
+                .wait_ns
+                .fetch_add(blocked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         cost
     }
 
-    /// Snapshot of the hit/miss counters and entry count.
+    /// Snapshot of the hit/miss counters and entry count, summed over
+    /// every shard. The totals are deterministic (a pure function of the
+    /// lookups made), unlike the per-shard split.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| {
-                    s.read()
-                        .expect("cache shard poisoned")
-                        .values()
-                        .map(Vec::len)
-                        .sum::<usize>()
-                })
-                .sum(),
+        let mut stats = CacheStats::default();
+        for s in self.shard_stats() {
+            stats.hits += s.hits;
+            stats.misses += s.misses;
+            stats.entries += s.entries;
         }
+        stats
+    }
+
+    /// Per-shard counter snapshot, in shard-index order — trace/diagnostic
+    /// data (see [`ShardStats`] on why it must stay out of reports).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                inserts: s.inserts.load(Ordering::Relaxed),
+                wait_ns: s.wait_ns.load(Ordering::Relaxed),
+                entries: s
+                    .table
+                    .read()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum(),
+            })
+            .collect()
     }
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            shard.table.write().expect("cache shard poisoned").clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+            shard.inserts.store(0, Ordering::Relaxed);
+            shard.wait_ns.store(0, Ordering::Relaxed);
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -339,6 +401,34 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, points.len());
         assert_eq!(stats.hits + stats.misses, 4 * points.len() as u64);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let cache = DecompositionCache::with_shards(4);
+        let model = Counting::new();
+        for p in [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::ISWAP] {
+            cache.cost_through(&model, p);
+            cache.cost_through(&model, p);
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 4);
+        let (hits, misses, inserts, entries) = shards
+            .iter()
+            .fold((0u64, 0u64, 0u64, 0usize), |(h, m, i, e), s| {
+                (h + s.hits, m + s.misses, i + s.inserts, e + s.entries)
+            });
+        let totals = cache.stats();
+        assert_eq!(
+            (hits, misses, entries),
+            (totals.hits, totals.misses, totals.entries)
+        );
+        assert_eq!((hits, misses, inserts, entries), (3, 3, 3, 3));
+        cache.clear();
+        assert!(cache
+            .shard_stats()
+            .iter()
+            .all(|s| *s == ShardStats::default()));
     }
 
     #[test]

@@ -22,13 +22,14 @@ use crate::report::{CircuitReport, EngineReport};
 use crate::EngineError;
 use paradrive_core::flow::evaluate_with_calibration;
 use paradrive_core::rules::{BaselineSqrtIswap, ParallelDriveRules, SynthesizedParallelDrive};
+use paradrive_obs::{Counter, Recorder, Trace};
 use paradrive_transpiler::consolidate::consolidate;
 use paradrive_transpiler::routing::{route_with_oracle, NoiseOracle, Routed, RouterOptions};
 use paradrive_transpiler::TranspileError;
 use paradrive_transpiler::{CostModel, GateCost};
 use paradrive_verify::{verify, Physical, Verification, VerifyLevel};
 use paradrive_weyl::WeylPoint;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,12 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         })
         .collect();
 
+    // The batch's own recorder, always on: per-stage spans are cheap next
+    // to millisecond-scale jobs, and the drained trace is both the source
+    // of the per-job route/pipeline times and the `--trace` export. The
+    // process-global `paradrive_obs::global()` recorder is untouched here
+    // — it stays opt-in for free-floating hot paths (simulator kernels).
+    let rec = Recorder::new();
     let shared = Shared {
         batch,
         config,
@@ -79,8 +86,9 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         next_unit: AtomicUsize::new(0),
         units_left: (0..n_jobs).map(|_| AtomicUsize::new(seeds)).collect(),
         routed: (0..unit_count).map(|_| Mutex::new(None)).collect(),
-        route_nanos: (0..n_jobs).map(|_| AtomicU64::new(0)).collect(),
         outcomes: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
+        seed_attempts: rec.counter("route.seed_attempts"),
+        rec,
     };
 
     if unit_count > 0 {
@@ -109,13 +117,53 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         }
     }
 
+    // Drain the batch trace and derive the per-job wall times from its
+    // spans — the single timing path (`finish_job` leaves placeholders).
+    // A job's route time sums its per-seed "route" spans; its pipeline
+    // time sums the sequential back-half stages.
+    let mut trace = shared.rec.take();
+    let mut route_ns = vec![0u64; n_jobs];
+    let mut back_ns = vec![0u64; n_jobs];
+    for s in &trace.spans {
+        let per_job = if s.name == "route" {
+            &mut route_ns
+        } else {
+            &mut back_ns
+        };
+        if let Some(slot) = per_job.get_mut(s.key as usize) {
+            *slot += s.dur_ns;
+        }
+    }
+    for (j, c) in circuits.iter_mut().enumerate() {
+        c.route_time = Duration::from_nanos(route_ns[j]);
+        c.pipeline_time = Duration::from_nanos(back_ns[j]);
+    }
+    if let Some((bcache, ocache)) = caches.as_ref() {
+        fold_shard_counters(&mut trace, "cache.baseline", bcache);
+        fold_shard_counters(&mut trace, "cache.optimized", ocache);
+    }
+
     Ok(EngineReport {
         circuits,
         threads,
         wall_clock: started.elapsed(),
         baseline_cache: caches.as_ref().map(|(b, _)| b.stats()),
         optimized_cache: caches.as_ref().map(|(_, o)| o.stats()),
+        trace,
     })
+}
+
+/// Copies a cache's per-shard counters into the trace under
+/// `<prefix>.shardNN.*` names. Shard attribution is hash-seeded (see
+/// [`DecompositionCache::shard_stats`]), so these live only in the trace
+/// channel.
+fn fold_shard_counters(trace: &mut Trace, prefix: &str, cache: &DecompositionCache) {
+    for (i, s) in cache.shard_stats().into_iter().enumerate() {
+        trace.set_counter(format!("{prefix}.shard{i:02}.hits"), s.hits);
+        trace.set_counter(format!("{prefix}.shard{i:02}.misses"), s.misses);
+        trace.set_counter(format!("{prefix}.shard{i:02}.inserts"), s.inserts);
+        trace.set_counter(format!("{prefix}.shard{i:02}.wait_ns"), s.wait_ns);
+    }
 }
 
 /// FNV-1a over bytes — a stable, dependency-free hash for deriving each
@@ -188,10 +236,14 @@ struct Shared<'a> {
     units_left: Vec<AtomicUsize>,
     /// Routing results, indexed `job * seeds + seed`.
     routed: Vec<Mutex<Option<Result<Routed, TranspileError>>>>,
-    /// Accumulated routing wall time per job, in nanoseconds.
-    route_nanos: Vec<AtomicU64>,
     /// Final per-job outcome slots.
     outcomes: Vec<Mutex<Option<Result<CircuitReport, TranspileError>>>>,
+    /// Routing units executed (one per `(job, seed)` pair).
+    seed_attempts: Counter,
+    /// The batch-scoped recorder every stage span and counter lands in;
+    /// spans are keyed by job index so `run_batch` can rebuild per-job
+    /// times from the drained trace.
+    rec: Recorder,
 }
 
 impl Shared<'_> {
@@ -206,18 +258,22 @@ impl Shared<'_> {
             let seed = (unit % self.seeds) as u64;
 
             let map = self.batch.map_for(job);
-            let t0 = Instant::now();
-            let result = match &self.noise[job] {
-                Ok(oracle) => route_with_oracle(
-                    &self.batch.jobs()[job].circuit,
-                    map,
-                    oracle.as_ref(),
-                    seed,
-                    RouterOptions::default(),
-                ),
-                Err(e) => Err(e.clone()),
+            let result = {
+                let _span = self.rec.span_full("route", job as u64, || {
+                    format!("{}#{seed}", self.batch.jobs()[job].name)
+                });
+                self.seed_attempts.incr(1);
+                match &self.noise[job] {
+                    Ok(oracle) => route_with_oracle(
+                        &self.batch.jobs()[job].circuit,
+                        map,
+                        oracle.as_ref(),
+                        seed,
+                        RouterOptions::default(),
+                    ),
+                    Err(e) => Err(e.clone()),
+                }
             };
-            self.route_nanos[job].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             *self.routed[unit].lock().expect("routing slot poisoned") = Some(result);
 
             // The worker that finishes a job's last routing unit runs the
@@ -230,9 +286,14 @@ impl Shared<'_> {
     }
 
     /// Best-seed selection, consolidation, scheduling and scoring for one
-    /// fully routed job.
+    /// fully routed job. Each stage runs under its own span (keyed by the
+    /// job index, labeled by the job name); the spans are sequential, so
+    /// their summed duration is the job's pipeline time — `run_batch`
+    /// rebuilds it from the trace, and the placeholders below stay zero
+    /// until then.
     fn finish_job(&self, job: usize) -> Result<CircuitReport, TranspileError> {
-        let t0 = Instant::now();
+        let spec = &self.batch.jobs()[job];
+        let stage = |name| self.rec.span_full(name, job as u64, || spec.name.clone());
         let cal = self.batch.calibration_for(job);
         // Pick the best seed. Uncalibrated jobs keep `route_best_of`'s
         // rule — strictly fewest SWAPs, earliest seed wins. Calibrated
@@ -241,24 +302,29 @@ impl Shared<'_> {
         // them on the metric the rollups report, with SWAP count then
         // earliest seed as tie-breaks. A uniform calibration scores every
         // seed at exactly 1.0, degrading to the legacy rule.
-        let mut best: Option<(Routed, f64)> = None;
-        for seed in 0..self.seeds {
-            let routed = self.routed[job * self.seeds + seed]
-                .lock()
-                .expect("routing slot poisoned")
-                .take()
-                .expect("all units of a finished job are routed")?;
-            let survival = cal.map_or(1.0, |c| c.routed_survival(&routed.circuit));
-            if best.as_ref().is_none_or(|(b, s)| {
-                survival > *s || (survival == *s && routed.swaps_inserted < b.swaps_inserted)
-            }) {
-                best = Some((routed, survival));
+        let best = {
+            let _span = stage("select");
+            let mut best: Option<(Routed, f64)> = None;
+            for seed in 0..self.seeds {
+                let routed = self.routed[job * self.seeds + seed]
+                    .lock()
+                    .expect("routing slot poisoned")
+                    .take()
+                    .expect("all units of a finished job are routed")?;
+                let survival = cal.map_or(1.0, |c| c.routed_survival(&routed.circuit));
+                if best.as_ref().is_none_or(|(b, s)| {
+                    survival > *s || (survival == *s && routed.swaps_inserted < b.swaps_inserted)
+                }) {
+                    best = Some((routed, survival));
+                }
             }
-        }
-        let (best, _) = best.expect("at least one seed per job");
-        let items = consolidate(&best.circuit)?;
+            best.expect("at least one seed per job").0
+        };
+        let items = {
+            let _span = stage("consolidate");
+            consolidate(&best.circuit)?
+        };
 
-        let spec = &self.batch.jobs()[job];
         let map = self.batch.map_for(job);
 
         // Semantic verification replays the *consolidated* stream — each
@@ -271,6 +337,7 @@ impl Shared<'_> {
         // bad circuit) become a failing `Verification::Error` verdict
         // rather than aborting the batch — or silently passing.
         let verification = (self.config.verify != VerifyLevel::Off).then(|| {
+            let _span = stage("verify");
             let cfg = self
                 .config
                 .verify_config()
@@ -288,6 +355,10 @@ impl Shared<'_> {
                 reason: e.to_string(),
             })
         });
+        if let Some(Verification::Sampled { samples, .. }) = &verification {
+            self.rec.add("verify.samples", *samples as u64);
+        }
+        let _span = stage("schedule");
         let result = match self.caches {
             Some((bcache, ocache)) => evaluate_with_calibration(
                 &spec.name,
@@ -319,8 +390,9 @@ impl Shared<'_> {
             calibration: cal.map_or_else(|| "uniform".to_string(), |c| c.label().to_string()),
             routed: self.config.keep_routed.then_some(best.circuit),
             verification,
-            route_time: Duration::from_nanos(self.route_nanos[job].load(Ordering::Relaxed)),
-            pipeline_time: t0.elapsed(),
+            // Filled from the drained trace by `run_batch`.
+            route_time: Duration::ZERO,
+            pipeline_time: Duration::ZERO,
         })
     }
 }

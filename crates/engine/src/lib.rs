@@ -63,11 +63,13 @@ mod engine;
 mod report;
 
 pub use batch::{Batch, Costing, EngineConfig, Job};
-pub use cache::{CacheStats, CachedCostModel, DecompositionCache};
+pub use cache::{CacheStats, CachedCostModel, DecompositionCache, ShardStats};
 pub use engine::run_batch;
+pub use paradrive_obs::{StageStats, Trace};
 pub use paradrive_verify::{Verification, VerifyLevel};
 pub use report::{
-    CalibrationSummary, CircuitReport, EngineReport, TopologySummary, VerificationSummary,
+    CalibrationSummary, CircuitReport, EngineReport, MetricsSummary, TopologySummary,
+    VerificationSummary,
 };
 
 use paradrive_transpiler::TranspileError;

@@ -3,6 +3,7 @@
 use crate::cache::CacheStats;
 use paradrive_circuit::Circuit;
 use paradrive_core::flow::BenchmarkResult;
+use paradrive_obs::{StageStats, Trace};
 use paradrive_verify::Verification;
 use std::fmt;
 use std::time::Duration;
@@ -46,6 +47,13 @@ pub struct EngineReport {
     pub baseline_cache: Option<CacheStats>,
     /// Optimized-model cache counters (`None` with the cache disabled).
     pub optimized_cache: Option<CacheStats>,
+    /// The batch's execution trace: per-stage spans and counters,
+    /// including the per-shard cache split. Wall-clock-bearing and
+    /// thread-schedule-dependent — export it with
+    /// [`Trace::write_chrome`] / [`Trace::write_jsonl`] or roll it up
+    /// with [`EngineReport::metrics_summary`], but never render it into
+    /// the deterministic report (the `Display` impl ignores it).
+    pub trace: Trace,
 }
 
 impl EngineReport {
@@ -142,6 +150,25 @@ impl EngineReport {
         groups
     }
 
+    /// Rolls the trace up into stage-time statistics (p50/p95 per stage)
+    /// and a thread-utilization fraction. Wall-clock data: render it only
+    /// under `--timings`-style diagnostic flags, never in the
+    /// deterministic report.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        let busy: u64 = self.trace.spans.iter().map(|s| s.dur_ns).sum();
+        let capacity = self.wall_clock.as_nanos() as u64 * self.threads as u64;
+        MetricsSummary {
+            stages: self.trace.stage_summary(),
+            threads: self.threads,
+            wall_clock: self.wall_clock,
+            utilization: if capacity > 0 {
+                (busy as f64 / capacity as f64).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
     /// Batch-wide verification rollup, or `None` when no job carried a
     /// verdict (verification off).
     pub fn verification_summary(&self) -> Option<VerificationSummary> {
@@ -220,6 +247,53 @@ impl fmt::Display for VerificationSummary {
             write!(f, ", min F {:.9}", self.min_fidelity)?;
         }
         Ok(())
+    }
+}
+
+/// Wall-clock rollup of a batch trace (see
+/// [`EngineReport::metrics_summary`]): per-stage duration statistics and
+/// how much of the worker pool's capacity the spans cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSummary {
+    /// Per-stage statistics, in first-span order.
+    pub stages: Vec<StageStats>,
+    /// Worker threads the batch ran with.
+    pub threads: usize,
+    /// End-to-end batch wall clock.
+    pub wall_clock: Duration,
+    /// Fraction of `threads × wall_clock` covered by recorded spans, in
+    /// `[0, 1]` — low values mean workers idled (e.g. one late job
+    /// serialized the tail).
+    pub utilization: f64,
+}
+
+impl fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "spans", "total", "p50", "p95", "max"
+        )?;
+        let ms = |ns: u64| format!("{:.3}ms", ns as f64 / 1e6);
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                s.name,
+                s.count,
+                ms(s.total_ns),
+                ms(s.p50_ns),
+                ms(s.p95_ns),
+                ms(s.max_ns),
+            )?;
+        }
+        write!(
+            f,
+            "threads {}, wall {:.1} ms, utilization {:.0}%",
+            self.threads,
+            self.wall_clock.as_secs_f64() * 1e3,
+            self.utilization * 100.0,
+        )
     }
 }
 
@@ -373,6 +447,7 @@ mod tests {
                 misses: 20,
                 entries: 20,
             }),
+            trace: Trace::default(),
         }
     }
 
@@ -505,8 +580,49 @@ mod tests {
             wall_clock: Duration::ZERO,
             baseline_cache: None,
             optimized_cache: None,
+            trace: Trace::default(),
         };
         assert!(r.average_reduction_pct().is_nan());
         assert!(r.cache_hit_rate().is_none());
+        let m = r.metrics_summary();
+        assert!(m.stages.is_empty());
+        assert_eq!(m.utilization, 0.0);
+    }
+
+    #[test]
+    fn metrics_summary_rolls_up_stage_times_and_utilization() {
+        use paradrive_obs::SpanEvent;
+        let mut r = report();
+        r.wall_clock = Duration::from_nanos(1000);
+        r.threads = 2;
+        // 1500 ns of spans over a 2 × 1000 ns budget: 75% utilization.
+        for (name, tid, start_ns, dur_ns) in [
+            ("route", 0, 0, 600),
+            ("route", 1, 0, 400),
+            ("schedule", 0, 600, 500),
+        ] {
+            r.trace.spans.push(SpanEvent {
+                name,
+                label: String::new(),
+                key: 0,
+                tid,
+                start_ns,
+                dur_ns,
+            });
+        }
+        let m = r.metrics_summary();
+        assert_eq!(m.stages.len(), 2);
+        assert_eq!(m.stages[0].name, "route");
+        assert_eq!(m.stages[0].count, 2);
+        assert_eq!(m.stages[0].total_ns, 1000);
+        assert!((m.utilization - 0.75).abs() < 1e-12);
+        let text = m.to_string();
+        assert!(text.contains("utilization 75%"), "{text}");
+        assert!(text.contains("schedule"), "{text}");
+        // The deterministic report ignores the trace entirely.
+        let mut quiet = report();
+        quiet.wall_clock = r.wall_clock;
+        quiet.threads = r.threads;
+        assert_eq!(quiet.to_string(), r.to_string());
     }
 }

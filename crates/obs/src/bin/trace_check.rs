@@ -1,0 +1,123 @@
+//! Validates an exported Chrome trace file: non-empty, parses as JSON,
+//! every `"B"` has a matching `"E"` on its thread, and at least one span
+//! completed. CI runs this against the smoke sweep's `--trace` output
+//! before uploading it as an artifact.
+//!
+//! Usage: `trace_check <trace.json> [--expect-stage NAME]...`
+//!
+//! Exit code 0 on a well-formed trace, 1 otherwise (with a diagnostic on
+//! stderr).
+
+use paradrive_obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [--expect-stage NAME]...");
+        return ExitCode::FAILURE;
+    };
+    let mut expected_stages = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--expect-stage" => match args.next() {
+                Some(name) => expected_stages.push(name),
+                None => {
+                    eprintln!("trace_check: --expect-stage needs a stage name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("trace_check: unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match check(&path, &expected_stages) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("trace_check: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(path: &str, expected_stages: &[String]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    if text.trim().is_empty() {
+        return Err("file is empty".to_string());
+    }
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing traceEvents array")?;
+
+    let mut stacks: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    let mut stage_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as i64;
+        match ph {
+            "B" => {
+                let name = event
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: B without name"))?;
+                if event.get("ts").and_then(Value::as_f64).is_none() {
+                    return Err(format!("event {i}: B without numeric ts"));
+                }
+                stacks.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                let name = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without matching B on tid {tid}"))?;
+                *stage_counts.entry(name).or_default() += 1;
+                spans += 1;
+            }
+            "C" => counters += 1,
+            "M" => {}
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("unclosed spans on tid {tid}: {stack:?}"));
+        }
+    }
+    if spans == 0 {
+        return Err("no completed spans".to_string());
+    }
+    for stage in expected_stages {
+        if !stage_counts.contains_key(stage) {
+            return Err(format!(
+                "expected stage {stage:?} absent; saw: {:?}",
+                stage_counts.keys().collect::<Vec<_>>()
+            ));
+        }
+    }
+    let stages: Vec<String> = stage_counts
+        .iter()
+        .map(|(name, n)| format!("{name}\u{d7}{n}"))
+        .collect();
+    Ok(format!(
+        "ok: {spans} spans ({}), {counters} counters",
+        stages.join(", ")
+    ))
+}

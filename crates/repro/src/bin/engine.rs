@@ -26,6 +26,13 @@
 //! Positional `NAME`s select benchmarks (case-insensitive: QV, VQE_L, GHZ,
 //! HLF, QFT, Adder, QAOA, VQE_F, Multiplier); with none given the full
 //! Table VII suite runs. `--threads 0` (the default) uses every core.
+//!
+//! `--trace FILE` exports the batch's execution trace (per-stage spans,
+//! per-shard cache counters, kernel-dispatch counts) as Chrome
+//! trace-event JSON for Perfetto / `chrome://tracing`; `--timings` prints
+//! the stage-time rollup (p50/p95 per stage, thread utilization) on
+//! stderr. Both are wall-clock diagnostics, kept strictly out of the
+//! deterministic report.
 
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_engine::{run_batch, Batch, Costing, EngineConfig, VerifyLevel};
@@ -46,6 +53,8 @@ struct Args {
     verify: VerifyLevel,
     verify_samples: u32,
     verify_seed: u64,
+    trace: Option<String>,
+    timings: bool,
     names: Vec<String>,
 }
 
@@ -63,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         verify: VerifyLevel::Off,
         verify_samples: defaults.verify_samples,
         verify_seed: defaults.verify_seed,
+        trace: None,
+        timings: false,
         names: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -108,12 +119,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--verify-seed: {e}"))?;
             }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--timings" => args.timings = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine [--threads N] [--seeds N] [--no-cache] [--synth] \
                             [--suite-seed N] [--calibration SPEC] [--calibration-seed N] \
                             [--noise-aware] [--verify off|sampled|exact] [--verify-samples K] \
-                            [--verify-seed N] [NAME ...]"
+                            [--verify-seed N] [--trace FILE] [--timings] [NAME ...]"
                         .to_string(),
                 )
             }
@@ -208,9 +221,29 @@ fn main() -> ExitCode {
         },
         args.verify,
     );
+    if args.trace.is_some() {
+        // Collect free-floating kernel counters alongside the batch trace.
+        paradrive_obs::global().set_enabled(true);
+    }
     match run_batch(&batch, &config) {
         Ok(report) => {
             print!("{report}");
+            if args.timings {
+                eprintln!("{}", report.metrics_summary());
+            }
+            if let Some(path) = &args.trace {
+                let mut trace = report.trace.clone();
+                trace.merge(paradrive_obs::global().take());
+                if let Err(e) = trace.write_chrome(path) {
+                    eprintln!("engine: cannot write trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "engine: wrote trace ({} spans, {} counters) to {path}",
+                    trace.spans.len(),
+                    trace.counters.len()
+                );
+            }
             if let Some(v) = report.verification_summary() {
                 if !v.all_passed() {
                     eprintln!("engine: {} job(s) FAILED semantic verification", v.failed);

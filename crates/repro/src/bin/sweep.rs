@@ -29,7 +29,11 @@
 //! The report is a pure function of the sweep spec — bit-identical at any
 //! `--threads` setting. Wall-clock timings are printed only with
 //! `--timings`, kept apart so the deterministic report stays comparable
-//! across machines and thread counts.
+//! across machines and thread counts. `--trace FILE` writes the whole
+//! sweep's execution trace (per-cell stage spans, per-shard cache and
+//! kernel-dispatch counters) as Chrome trace-event JSON — open it in
+//! Perfetto or `chrome://tracing`; `--trace-jsonl FILE` writes the same
+//! data line-oriented. Neither flag changes the report by one bit.
 
 use paradrive_engine::Costing;
 use paradrive_repro::sweep::{run_sweep, SweepSpec};
@@ -38,11 +42,19 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
      [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] \
      [--calibrations C1,..] [--calibration-seed N] [--noise-aware] \
-     [--verify off,sampled,exact] [--timings]";
+     [--verify off,sampled,exact] [--timings] [--trace FILE] [--trace-jsonl FILE]";
 
-fn parse_args() -> Result<(SweepSpec, bool), String> {
+/// Diagnostic outputs requested alongside the deterministic report.
+#[derive(Default)]
+struct Diagnostics {
+    timings: bool,
+    trace: Option<String>,
+    trace_jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<(SweepSpec, Diagnostics), String> {
     let mut spec = SweepSpec::full();
-    let mut timings = false;
+    let mut diag = Diagnostics::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
         spec = SweepSpec::smoke();
@@ -56,7 +68,9 @@ fn parse_args() -> Result<(SweepSpec, bool), String> {
         };
         match arg.as_str() {
             "--smoke" => {} // handled above so later flags can override it
-            "--timings" => timings = true,
+            "--timings" => diag.timings = true,
+            "--trace" => diag.trace = Some(value("--trace")?.to_string()),
+            "--trace-jsonl" => diag.trace_jsonl = Some(value("--trace-jsonl")?.to_string()),
             "--no-cache" => spec.cache = false,
             "--threads" => {
                 spec.threads = value("--threads")?
@@ -117,7 +131,7 @@ fn parse_args() -> Result<(SweepSpec, bool), String> {
             flag => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
     }
-    Ok((spec, timings))
+    Ok((spec, diag))
 }
 
 fn main() -> ExitCode {
@@ -125,13 +139,18 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let (spec, timings) = match parse_args() {
+    let (spec, diag) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    // Turn the process-global recorder on while tracing so free-floating
+    // hot paths (the verification oracles' simulator kernels) count too.
+    if diag.trace.is_some() || diag.trace_jsonl.is_some() {
+        paradrive_obs::global().set_enabled(true);
+    }
     eprintln!(
         "sweep: {} topologies x {} benchmarks x {} costings x {} calibrations x {} verification \
          levels x {} suite seeds, best-of-{} routing, {} routing policy",
@@ -151,8 +170,30 @@ fn main() -> ExitCode {
     match run_sweep(&spec) {
         Ok(outcome) => {
             print!("{}", outcome.render());
-            if timings {
+            if diag.timings {
                 print!("{}", outcome.render_timings());
+            }
+            if diag.trace.is_some() || diag.trace_jsonl.is_some() {
+                let mut trace = outcome.merged_trace();
+                // Global-recorder counters (kernel dispatch mix) join the
+                // per-run counters un-prefixed: they span the whole sweep.
+                trace.merge(paradrive_obs::global().take());
+                for (path, text) in [
+                    (&diag.trace, trace.to_chrome_json()),
+                    (&diag.trace_jsonl, trace.to_jsonl()),
+                ] {
+                    if let Some(path) = path {
+                        if let Err(e) = std::fs::write(path, text) {
+                            eprintln!("sweep: cannot write trace {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!(
+                            "sweep: wrote trace ({} spans, {} counters) to {path}",
+                            trace.spans.len(),
+                            trace.counters.len()
+                        );
+                    }
+                }
             }
             let failed: usize = outcome
                 .runs

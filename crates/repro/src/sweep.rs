@@ -26,7 +26,7 @@
 use paradrive_circuit::benchmarks::standard_suite;
 use paradrive_engine::{run_batch, Batch, CacheStats, Costing, EngineConfig};
 use paradrive_engine::{CalibrationSummary, TopologySummary, VerificationSummary};
-use paradrive_engine::{Verification, VerifyLevel};
+use paradrive_engine::{Trace, Verification, VerifyLevel};
 use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
@@ -329,6 +329,18 @@ pub struct SweepCell {
     pub wall: Duration,
 }
 
+impl SweepCell {
+    /// The cell's deterministic label — a pure function of the sweep
+    /// axes (`costing:topology/calibration/benchmark@seed`), so timing
+    /// diagnostics can name a cell reproducibly across runs.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}/{}/{}@{}",
+            self.costing, self.topology, self.calibration, self.benchmark, self.suite_seed
+        )
+    }
+}
+
 /// The aggregate outcome of one engine run (one costing discipline at one
 /// verification level).
 #[derive(Debug, Clone)]
@@ -349,6 +361,10 @@ pub struct SweepRun {
     pub by_calibration: Vec<CalibrationSummary>,
     /// Batch-wide verification rollup (`None` with verification off).
     pub verification: Option<VerificationSummary>,
+    /// The run's execution trace, with every span relabeled to its
+    /// deterministic cell label (timing-only — see
+    /// [`SweepOutcome::merged_trace`] for the whole-sweep export).
+    pub trace: Trace,
 }
 
 /// Everything a sweep produced: per-cell rows plus per-run aggregates.
@@ -496,6 +512,22 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
                     wall: c.route_time + c.pipeline_time,
                 });
             }
+            // Relabel engine spans (keyed by job index) with the cell's
+            // deterministic label, so a trace opened in Perfetto names
+            // cells the same way the timing report does. Route spans keep
+            // their per-seed `#N` suffix.
+            let mut trace = report.trace.clone();
+            for s in &mut trace.spans {
+                if let Some((topology, calibration, benchmark, suite_seed)) =
+                    meta.get(s.key as usize)
+                {
+                    let cell = format!("{topology}/{calibration}/{benchmark}@{suite_seed}");
+                    s.label = match s.label.rsplit_once('#') {
+                        Some((_, seed)) if s.name == "route" => format!("{cell}#{seed}"),
+                        _ => cell,
+                    };
+                }
+            }
             runs.push(SweepRun {
                 costing: costing_label(costing),
                 verify: verify.label(),
@@ -505,6 +537,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, String> {
                 by_topology: report.by_topology(),
                 by_calibration: report.by_calibration(),
                 verification: report.verification_summary(),
+                trace,
             });
         }
     }
@@ -617,9 +650,10 @@ impl SweepOutcome {
         out
     }
 
-    /// Wall-clock timings (thread count, per-run and slowest-cell times).
-    /// Separate from [`SweepOutcome::render`] because timings are the one
-    /// thing that legitimately varies run to run.
+    /// Wall-clock timings (thread count, per-run and slowest-cell times,
+    /// per-stage histograms). Separate from [`SweepOutcome::render`]
+    /// because timings are the one thing that legitimately varies run to
+    /// run.
     pub fn render_timings(&self) -> String {
         let mut out = String::new();
         for run in &self.runs {
@@ -637,17 +671,45 @@ impl SweepOutcome {
                 run.threads,
             );
             if let Some(c) = slowest {
+                // The full deterministic cell label: the point is to know
+                // *which* cell to rerun, not just that one was slow.
                 let _ = write!(
                     out,
-                    "; slowest cell {}/{} at {:.1} ms",
-                    c.topology,
-                    c.benchmark,
+                    "; slowest cell {} at {:.1} ms",
+                    c.label(),
                     c.wall.as_secs_f64() * 1e3
                 );
             }
             let _ = writeln!(out);
+            for s in run.trace.stage_summary() {
+                let ms = |ns: u64| ns as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "[timings]   {:<12} {:>4} spans, p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+                    s.name,
+                    s.count,
+                    ms(s.p50_ns),
+                    ms(s.p95_ns),
+                    ms(s.max_ns),
+                );
+            }
         }
         out
+    }
+
+    /// Concatenates every run's trace into one exportable timeline: runs
+    /// are laid end to end (each shifted past the previous run's last
+    /// span) and their counters namespaced `<costing>.<verify>.`, so one
+    /// file carries the whole sweep without colliding counter names.
+    pub fn merged_trace(&self) -> Trace {
+        let mut merged = Trace::default();
+        for run in &self.runs {
+            let mut t = run.trace.clone();
+            t.shift(merged.end_ns());
+            t.prefix_counters(&format!("{}.{}.", run.costing, run.verify));
+            merged.merge(t);
+        }
+        merged
     }
 }
 
@@ -835,6 +897,47 @@ mod tests {
         let text = out.render();
         assert!(text.contains("ring16") && text.contains("by topology"));
         assert!(!text.contains("ms"), "deterministic report leaked timings");
-        assert!(out.render_timings().contains("threads"));
+        let timings = out.render_timings();
+        assert!(timings.contains("threads"));
+        // The slowest cell is named by its full deterministic label.
+        assert!(timings.contains("slowest cell hull:"), "{timings}");
+        assert!(timings.contains("/uniform/"), "{timings}");
+    }
+
+    #[test]
+    fn sweep_trace_carries_cell_labeled_stage_spans() {
+        let mut spec = SweepSpec::smoke();
+        spec.topologies = vec!["grid4x4".into()];
+        spec.verify = vec![VerifyLevel::Sampled];
+        let out = run_sweep(&spec).unwrap();
+        let trace = &out.runs[0].trace;
+        // One span per pipeline stage per cell, labeled by the cell.
+        for stage in ["route", "select", "consolidate", "verify", "schedule"] {
+            let spans: Vec<_> = trace.spans.iter().filter(|s| s.name == stage).collect();
+            assert_eq!(
+                spans.len(),
+                if stage == "route" { 2 * 2 } else { 2 },
+                "{stage}: wrong span count"
+            );
+            assert!(
+                spans
+                    .iter()
+                    .all(|s| s.label.starts_with("grid4x4/uniform/")),
+                "{stage}: spans not cell-labeled: {spans:?}"
+            );
+        }
+        // Route spans keep their per-seed suffix.
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.name == "route" && s.label.ends_with("#1")));
+        // Per-shard cache counters and pipeline counters rode along.
+        assert!(trace.counter("cache.baseline.shard00.hits").is_some());
+        assert_eq!(trace.counter("route.seed_attempts"), Some(4));
+        assert!(trace.counter("verify.samples").unwrap_or(0) > 0);
+        // The merged export namespaces counters per run and stays valid.
+        let merged = out.merged_trace();
+        assert!(merged.counter("hull.sampled.route.seed_attempts").is_some());
+        assert!(paradrive_obs::json::parse(&merged.to_chrome_json()).is_ok());
     }
 }

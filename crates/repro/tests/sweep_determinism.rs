@@ -29,6 +29,35 @@ fn sweep_report_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn tracing_never_perturbs_the_sweep_report() {
+    // `--trace` flips the process-global recorder on; the deterministic
+    // report must stay bit-identical — tracing on vs off, 1 vs 4 threads.
+    let spec = SweepSpec::smoke();
+    let quiet = at_threads(&spec, 4);
+
+    paradrive_obs::global().set_enabled(true);
+    let traced_one = at_threads(&spec, 1);
+    let traced_four = at_threads(&spec, 4);
+    paradrive_obs::global().set_enabled(false);
+    let _ = paradrive_obs::global().take();
+
+    assert_eq!(
+        quiet.render(),
+        traced_one.render(),
+        "tracing perturbed the sweep report at 1 thread"
+    );
+    assert_eq!(
+        quiet.render(),
+        traced_four.render(),
+        "tracing perturbed the sweep report at 4 threads"
+    );
+    // The diagnostic channel is really there — populated, exportable —
+    // it just never leaks into the render.
+    let merged = traced_four.merged_trace();
+    assert!(!merged.spans.is_empty());
+}
+
+#[test]
 fn calibrated_noise_aware_sweep_is_bit_identical_across_thread_counts() {
     // The full four-axis cross-product: topology × benchmark × costing ×
     // calibration, with seeded heterogeneous calibrations and noise-aware

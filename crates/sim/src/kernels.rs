@@ -28,7 +28,26 @@
 //! same arithmetic, different loop shape.
 
 use paradrive_linalg::C64;
+use paradrive_obs::Counter;
 use std::sync::OnceLock;
+
+/// Kernel-dispatch counters on the process-global recorder, registered
+/// once (indexed `[1q-scalar, 1q-lanes, 2q-scalar, 2q-lanes]`). While the
+/// global recorder is disabled — the default — each dispatch pays one
+/// relaxed load and a predictable branch, nothing more; `--trace`-style
+/// flags turn the mix into exported counters.
+fn dispatch_counters() -> &'static [Counter; 4] {
+    static CELLS: OnceLock<[Counter; 4]> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let g = paradrive_obs::global();
+        [
+            g.counter("sim.kernel.1q.scalar"),
+            g.counter("sim.kernel.1q.lanes"),
+            g.counter("sim.kernel.2q.scalar"),
+            g.counter("sim.kernel.2q.lanes"),
+        ]
+    })
+}
 
 /// Which kernel engine applies gates to a statevector (or density
 /// matrix).
@@ -434,9 +453,14 @@ pub(crate) fn apply_1q_lanes(amps: &mut [C64], bit: usize, g: [C64; 4]) {
 /// Dispatches a 1Q application to the chosen engine.
 #[inline]
 pub(crate) fn apply_1q(path: KernelPath, amps: &mut [C64], bit: usize, g: [C64; 4]) {
+    let counters = dispatch_counters();
     match path {
-        KernelPath::Scalar => apply_1q_scalar(amps, bit, g),
+        KernelPath::Scalar => {
+            counters[0].incr(1);
+            apply_1q_scalar(amps, bit, g)
+        }
         KernelPath::Lanes => {
+            counters[1].incr(1);
             #[cfg(target_arch = "x86_64")]
             if avx::apply_1q(amps, bit, g) {
                 return;
@@ -641,9 +665,14 @@ pub(crate) fn apply_2q(
     bit_b: usize,
     m: &[[C64; 4]; 4],
 ) {
+    let counters = dispatch_counters();
     match path {
-        KernelPath::Scalar => apply_2q_scalar(amps, bit_a, bit_b, m),
+        KernelPath::Scalar => {
+            counters[2].incr(1);
+            apply_2q_scalar(amps, bit_a, bit_b, m)
+        }
         KernelPath::Lanes => {
+            counters[3].incr(1);
             #[cfg(target_arch = "x86_64")]
             if avx::apply_2q(amps, bit_a, bit_b, m) {
                 return;

@@ -21,6 +21,7 @@
 //! | [`core`] | baseline vs parallel-drive cost models, codesign, the full flow |
 //! | [`engine`] | batched multi-threaded transpilation with a decomposition cache |
 //! | [`verify`] | semantic equivalence oracles: exact up-to-permutation and Monte-Carlo |
+//! | [`obs`] | deterministic tracing/metrics: per-stage spans, counters, Chrome-trace export |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use paradrive_coverage as coverage;
 pub use paradrive_engine as engine;
 pub use paradrive_hamiltonian as hamiltonian;
 pub use paradrive_linalg as linalg;
+pub use paradrive_obs as obs;
 pub use paradrive_optimizer as optimizer;
 pub use paradrive_sim as sim;
 pub use paradrive_speedlimit as speedlimit;

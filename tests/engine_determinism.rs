@@ -65,6 +65,37 @@ fn assert_reports_identical(a: &EngineReport, b: &EngineReport) {
 }
 
 #[test]
+fn tracing_never_perturbs_the_report() {
+    // The observability layer's acceptance bar: flipping the process-global
+    // recorder on (what `--trace` does) must leave the deterministic report
+    // bit-identical, at one worker and at four.
+    let batch = batch();
+    let base = EngineConfig::default()
+        .routing_seeds(SEEDS)
+        .keep_routed(true);
+    let quiet = run_batch(&batch, &base.threads(4)).unwrap();
+
+    paradrive::obs::global().set_enabled(true);
+    let traced_one = run_batch(&batch, &base.threads(1)).unwrap();
+    let traced_four = run_batch(&batch, &base.threads(4)).unwrap();
+    paradrive::obs::global().set_enabled(false);
+    let _ = paradrive::obs::global().take();
+
+    assert_reports_identical(&quiet, &traced_one);
+    assert_reports_identical(&quiet, &traced_four);
+
+    // The trace itself is populated (the batch recorder is always on) but
+    // carries the wall-clock truth *next to* the report, never inside it:
+    // every result field compared above came from the deterministic side.
+    for report in [&quiet, &traced_one, &traced_four] {
+        assert!(
+            report.trace.spans.iter().any(|s| s.name == "route"),
+            "batch trace lost its route spans"
+        );
+    }
+}
+
+#[test]
 fn engine_is_deterministic_across_threads_and_cache() {
     let batch = batch();
     let base = EngineConfig::default()
