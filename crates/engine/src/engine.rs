@@ -18,7 +18,7 @@
 
 use crate::batch::{Batch, Costing, EngineConfig};
 use crate::cache::{CachedCostModel, DecompositionCache};
-use crate::report::{CircuitReport, EngineReport};
+use crate::report::{BatchSummary, CircuitReport, EngineReport};
 use crate::EngineError;
 use paradrive_core::flow::evaluate_with_calibration;
 use paradrive_core::rules::{BaselineSqrtIswap, ParallelDriveRules, SynthesizedParallelDrive};
@@ -33,13 +33,91 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// A per-job completion sink for [`run_batch_streaming`]: called once per
+/// successful job, on the worker thread that finished it, with the job's
+/// submission index and its finished report. Must be `Sync` — workers
+/// call it concurrently.
+pub type JobSink<'a> = dyn Fn(usize, CircuitReport) + Sync + 'a;
+
 /// Runs every job in `batch` and returns the aggregated report.
+///
+/// This is the retain-everything entry point: reports are collected into
+/// submission order and per-job wall times are rebuilt from the drained
+/// trace. Constant-memory consumers (the sharded sweep) should use
+/// [`run_batch_streaming`] instead and fold each report as it lands.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError`] for the first failing job (in submission
 /// order); remaining jobs still run to completion.
 pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, EngineError> {
+    let slots: Vec<Mutex<Option<CircuitReport>>> =
+        (0..batch.len()).map(|_| Mutex::new(None)).collect();
+    let summary = run_batch_streaming(batch, config, &|job, report| {
+        *slots[job].lock().expect("report slot poisoned") = Some(report);
+    })?;
+    let mut circuits: Vec<CircuitReport> = slots
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .expect("report slot poisoned")
+                .take()
+                .expect("every successful job produces a report")
+        })
+        .collect();
+
+    // Derive the per-job wall times from the trace spans — the single
+    // timing path (workers leave placeholders). A job's route time sums
+    // its per-seed "route" spans; its pipeline time sums the sequential
+    // back-half stages.
+    let mut route_ns = vec![0u64; circuits.len()];
+    let mut back_ns = vec![0u64; circuits.len()];
+    for s in &summary.trace.spans {
+        let per_job = if s.name == "route" {
+            &mut route_ns
+        } else {
+            &mut back_ns
+        };
+        if let Some(slot) = per_job.get_mut(s.key as usize) {
+            *slot += s.dur_ns;
+        }
+    }
+    for (j, c) in circuits.iter_mut().enumerate() {
+        c.route_time = Duration::from_nanos(route_ns[j]);
+        c.pipeline_time = Duration::from_nanos(back_ns[j]);
+    }
+
+    Ok(EngineReport {
+        circuits,
+        threads: summary.threads,
+        wall_clock: summary.wall_clock,
+        baseline_cache: summary.baseline_cache,
+        optimized_cache: summary.optimized_cache,
+        trace: summary.trace,
+    })
+}
+
+/// Runs every job in `batch`, handing each finished [`CircuitReport`] to
+/// `sink` the moment its worker completes it — the engine retains no
+/// per-job results, so peak report memory is bounded by the number of
+/// in-flight jobs, not the batch size.
+///
+/// The sink runs on worker threads (hence the `Sync` bound) and may be
+/// called in any completion order; job indices refer to submission order.
+/// Reports arrive with zero `route_time`/`pipeline_time` — per-job wall
+/// times can be rebuilt from the returned [`BatchSummary::trace`] by
+/// summing span durations keyed by job index (see [`run_batch`]).
+///
+/// # Errors
+///
+/// Returns [`EngineError`] for the first failing job (in submission
+/// order); remaining jobs still run to completion, and the sink may have
+/// received reports for jobs that succeeded before the error is reported.
+pub fn run_batch_streaming(
+    batch: &Batch,
+    config: &EngineConfig,
+    sink: &JobSink<'_>,
+) -> Result<BatchSummary, EngineError> {
     let started = Instant::now();
     let seeds = config.routing_seeds.max(1) as usize;
     let n_jobs = batch.len();
@@ -86,9 +164,10 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         next_unit: AtomicUsize::new(0),
         units_left: (0..n_jobs).map(|_| AtomicUsize::new(seeds)).collect(),
         routed: (0..unit_count).map(|_| Mutex::new(None)).collect(),
-        outcomes: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
+        failures: (0..n_jobs).map(|_| Mutex::new(None)).collect(),
         seed_attempts: rec.counter("route.seed_attempts"),
         rec,
+        sink,
     };
 
     if unit_count > 0 {
@@ -99,52 +178,22 @@ pub fn run_batch(batch: &Batch, config: &EngineConfig) -> Result<EngineReport, E
         });
     }
 
-    let mut circuits = Vec::with_capacity(n_jobs);
-    for (j, slot) in shared.outcomes.iter().enumerate() {
-        let outcome = slot
-            .lock()
-            .expect("outcome slot poisoned")
-            .take()
-            .expect("every job produces an outcome");
-        match outcome {
-            Ok(report) => circuits.push(report),
-            Err(e) => {
-                return Err(EngineError::Job {
-                    job: batch.jobs()[j].name.clone(),
-                    source: e,
-                })
-            }
+    for (j, slot) in shared.failures.iter().enumerate() {
+        if let Some(e) = slot.lock().expect("failure slot poisoned").take() {
+            return Err(EngineError::Job {
+                job: batch.jobs()[j].name.clone(),
+                source: e,
+            });
         }
     }
 
-    // Drain the batch trace and derive the per-job wall times from its
-    // spans — the single timing path (`finish_job` leaves placeholders).
-    // A job's route time sums its per-seed "route" spans; its pipeline
-    // time sums the sequential back-half stages.
     let mut trace = shared.rec.take();
-    let mut route_ns = vec![0u64; n_jobs];
-    let mut back_ns = vec![0u64; n_jobs];
-    for s in &trace.spans {
-        let per_job = if s.name == "route" {
-            &mut route_ns
-        } else {
-            &mut back_ns
-        };
-        if let Some(slot) = per_job.get_mut(s.key as usize) {
-            *slot += s.dur_ns;
-        }
-    }
-    for (j, c) in circuits.iter_mut().enumerate() {
-        c.route_time = Duration::from_nanos(route_ns[j]);
-        c.pipeline_time = Duration::from_nanos(back_ns[j]);
-    }
     if let Some((bcache, ocache)) = caches.as_ref() {
         fold_shard_counters(&mut trace, "cache.baseline", bcache);
         fold_shard_counters(&mut trace, "cache.optimized", ocache);
     }
 
-    Ok(EngineReport {
-        circuits,
+    Ok(BatchSummary {
         threads,
         wall_clock: started.elapsed(),
         baseline_cache: caches.as_ref().map(|(b, _)| b.stats()),
@@ -218,7 +267,7 @@ impl CostModel for OptimizedModel {
 }
 
 /// State shared by every worker for one batch run.
-struct Shared<'a> {
+struct Shared<'a, 'sink> {
     batch: &'a Batch,
     config: &'a EngineConfig,
     /// Per-job noise-aware routing oracle (`Ok(None)` for noise-blind or
@@ -236,17 +285,20 @@ struct Shared<'a> {
     units_left: Vec<AtomicUsize>,
     /// Routing results, indexed `job * seeds + seed`.
     routed: Vec<Mutex<Option<Result<Routed, TranspileError>>>>,
-    /// Final per-job outcome slots.
-    outcomes: Vec<Mutex<Option<Result<CircuitReport, TranspileError>>>>,
+    /// Per-job error slots; successful reports go straight to the sink.
+    failures: Vec<Mutex<Option<TranspileError>>>,
     /// Routing units executed (one per `(job, seed)` pair).
     seed_attempts: Counter,
     /// The batch-scoped recorder every stage span and counter lands in;
     /// spans are keyed by job index so `run_batch` can rebuild per-job
     /// times from the drained trace.
     rec: Recorder,
+    /// Where finished reports go, called on the finishing worker — the
+    /// engine itself retains nothing per job beyond the error slots.
+    sink: &'sink JobSink<'sink>,
 }
 
-impl Shared<'_> {
+impl Shared<'_, '_> {
     fn run_worker(&self) {
         let unit_count = self.routed.len();
         loop {
@@ -277,10 +329,14 @@ impl Shared<'_> {
             *self.routed[unit].lock().expect("routing slot poisoned") = Some(result);
 
             // The worker that finishes a job's last routing unit runs the
-            // job's back half right away.
+            // job's back half right away and streams the report out.
             if self.units_left[job].fetch_sub(1, Ordering::AcqRel) == 1 {
-                let outcome = self.finish_job(job);
-                *self.outcomes[job].lock().expect("outcome slot poisoned") = Some(outcome);
+                match self.finish_job(job) {
+                    Ok(report) => (self.sink)(job, report),
+                    Err(e) => {
+                        *self.failures[job].lock().expect("failure slot poisoned") = Some(e);
+                    }
+                }
             }
         }
     }
@@ -690,6 +746,59 @@ mod tests {
         let v = report.circuits[0].verification.as_ref().unwrap();
         assert_eq!(v.method(), "sampled", "{v}");
         assert!(!v.failed(), "{v}");
+    }
+
+    #[test]
+    fn streaming_sink_matches_run_batch_bitwise() {
+        let batch = small_batch();
+        let config = EngineConfig::default()
+            .routing_seeds(3)
+            .threads(4)
+            .keep_routed(true)
+            .verify(VerifyLevel::Exact);
+        let slots: Vec<Mutex<Option<CircuitReport>>> =
+            (0..batch.len()).map(|_| Mutex::new(None)).collect();
+        let summary = run_batch_streaming(&batch, &config, &|job, report| {
+            let mut slot = slots[job].lock().unwrap();
+            assert!(slot.is_none(), "job {job} delivered twice");
+            // Streamed reports leave the wall times as placeholders; the
+            // trace is the single timing channel.
+            assert_eq!(report.route_time, Duration::ZERO);
+            assert_eq!(report.pipeline_time, Duration::ZERO);
+            *slot = Some(report);
+        })
+        .unwrap();
+        let streamed = EngineReport {
+            circuits: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("every job delivered"))
+                .collect(),
+            threads: summary.threads,
+            wall_clock: summary.wall_clock,
+            baseline_cache: summary.baseline_cache,
+            optimized_cache: summary.optimized_cache,
+            trace: summary.trace,
+        };
+        let full = run_batch(&batch, &config).unwrap();
+        results_identical(&full, &streamed);
+        // The collecting wrapper rebuilds per-job wall times from spans.
+        assert!(full.busy_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn streaming_failure_reports_error_but_successes_still_stream() {
+        let mut batch = Batch::new(CouplingMap::grid(2, 2));
+        batch.push("ok", benchmarks::ghz(4));
+        batch.push("too-wide", benchmarks::ghz(9));
+        let delivered: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let err = run_batch_streaming(&batch, &EngineConfig::default().threads(2), &|job, r| {
+            delivered.lock().unwrap().push((job, r.result.name.clone()));
+        })
+        .unwrap_err();
+        let EngineError::Job { job, .. } = err;
+        assert_eq!(job, "too-wide");
+        let delivered = delivered.into_inner().unwrap();
+        assert_eq!(delivered, vec![(0, "ok".to_string())]);
     }
 
     #[test]

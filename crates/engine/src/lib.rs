@@ -14,7 +14,10 @@
 //! - [`run_batch`] fans both circuits *and* the routing seeds inside each
 //!   circuit across a [`std::thread::scope`] worker pool — deterministic
 //!   and bit-for-bit identical to the sequential pipeline at any thread
-//!   count;
+//!   count. [`run_batch_streaming`] is the constant-memory variant: each
+//!   finished [`CircuitReport`] is handed to a caller sink on the worker
+//!   that completed it, so peak report retention is O(in-flight), not
+//!   O(batch) — the entry point the sharded sweep folds through;
 //! - [`DecompositionCache`] memoizes any
 //!   [`CostModel`](paradrive_transpiler::CostModel) across the whole
 //!   batch, keyed by the quantized
@@ -64,11 +67,11 @@ mod report;
 
 pub use batch::{Batch, Costing, EngineConfig, Job};
 pub use cache::{CacheStats, CachedCostModel, DecompositionCache, ShardStats};
-pub use engine::run_batch;
+pub use engine::{run_batch, run_batch_streaming, JobSink};
 pub use paradrive_obs::{StageStats, Trace};
 pub use paradrive_verify::{Verification, VerifyLevel};
 pub use report::{
-    CalibrationSummary, CircuitReport, EngineReport, MetricsSummary, TopologySummary,
+    BatchSummary, CalibrationSummary, CircuitReport, EngineReport, MetricsSummary, TopologySummary,
     VerificationSummary,
 };
 

@@ -34,6 +34,37 @@ pub struct CircuitReport {
     pub pipeline_time: Duration,
 }
 
+/// The batch-level outcome of a streaming run (see
+/// [`crate::run_batch_streaming`]): everything [`EngineReport`] carries
+/// *except* the per-job reports, which were handed to the sink as they
+/// completed. Holding one of these retains O(1) memory in the batch size
+/// (the trace grows with job count but holds spans, not circuits).
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Worker threads the batch actually ran with.
+    pub threads: usize,
+    /// End-to-end batch wall clock.
+    pub wall_clock: Duration,
+    /// Baseline-model cache counters (`None` with the cache disabled).
+    pub baseline_cache: Option<CacheStats>,
+    /// Optimized-model cache counters (`None` with the cache disabled).
+    pub optimized_cache: Option<CacheStats>,
+    /// The batch's execution trace (see [`EngineReport::trace`]); spans
+    /// are keyed by job index, so per-job wall times can be rebuilt by
+    /// summing span durations per key.
+    pub trace: Trace,
+}
+
+impl BatchSummary {
+    /// Combined counters over both per-model caches.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match (self.baseline_cache, self.optimized_cache) {
+            (Some(b), Some(o)) => Some(b.merged(o)),
+            (one, other) => one.or(other),
+        }
+    }
+}
+
 /// The outcome of a whole batch.
 #[derive(Debug, Clone)]
 pub struct EngineReport {

@@ -241,6 +241,80 @@ impl Trace {
     pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_jsonl())
     }
+
+    /// Parses a [`Trace::to_jsonl`] export back into a trace — the import
+    /// half of the shard-merge workflow, where each shard's trace file is
+    /// re-read, namespaced and spliced into one timeline.
+    ///
+    /// Span names are interned into a process-global table (they are
+    /// `&'static str` on [`SpanEvent`]); the set of distinct stage names
+    /// is small and fixed, so the table stays bounded. Nanosecond fields
+    /// ride through an `f64` (the JSON number type) and are exact up to
+    /// 2^53 ns ≈ 104 days — far past any real trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad = |what: &str| format!("trace line {}: {what}", i + 1);
+            let v = crate::json::parse(line).map_err(|e| bad(&e.to_string()))?;
+            let field_u64 = |key: &str| -> Result<u64, String> {
+                v.get(key)
+                    .and_then(crate::json::Value::as_f64)
+                    .map(|x| x as u64)
+                    .ok_or_else(|| bad(&format!("missing numeric `{key}`")))
+            };
+            let field_str = |key: &str| -> Result<&str, String> {
+                v.get(key)
+                    .and_then(crate::json::Value::as_str)
+                    .ok_or_else(|| bad(&format!("missing string `{key}`")))
+            };
+            match field_str("type")? {
+                "span" => trace.spans.push(SpanEvent {
+                    name: intern(field_str("name")?),
+                    label: field_str("label")?.to_string(),
+                    key: field_u64("key")?,
+                    tid: field_u64("tid")? as u32,
+                    start_ns: field_u64("start_ns")?,
+                    dur_ns: field_u64("dur_ns")?,
+                }),
+                "counter" => trace
+                    .counters
+                    .push((field_str("name")?.to_string(), field_u64("value")?)),
+                other => return Err(bad(&format!("unknown entry type `{other}`"))),
+            }
+        }
+        trace
+            .spans
+            .sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns), s.tid));
+        trace.counters.sort();
+        Ok(trace)
+    }
+}
+
+/// Deduplicating `&'static str` intern table for imported span names.
+/// Leaks at most one allocation per *distinct* name ever imported — the
+/// pipeline's stage vocabulary, not per-span data.
+fn intern(name: &str) -> &'static str {
+    static NAMES: std::sync::OnceLock<std::sync::Mutex<Vec<&'static str>>> =
+        std::sync::OnceLock::new();
+    let mut table = NAMES
+        .get_or_init(|| std::sync::Mutex::new(Vec::new()))
+        .lock()
+        .expect("intern table poisoned");
+    match table.iter().find(|n| **n == name) {
+        Some(n) => n,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+            table.push(leaked);
+            leaked
+        }
+    }
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control bytes).
@@ -425,6 +499,38 @@ mod tests {
             }
         }
         assert!(json::parse(&trace.to_chrome_json()).is_ok());
+    }
+
+    #[test]
+    fn jsonl_import_round_trips_exactly() {
+        let trace = nested_trace();
+        let back = Trace::from_jsonl(&trace.to_jsonl()).unwrap();
+        // Import canonicalizes span order — (start, longest-first, tid),
+        // the nesting order chrome export needs — so the round trip is
+        // exact up to that reordering, and a second trip is a fixpoint.
+        let mut want = trace.clone();
+        want.spans
+            .sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns), s.tid));
+        want.counters.sort();
+        assert_eq!(back, want);
+        assert_eq!(Trace::from_jsonl(&back.to_jsonl()).unwrap(), back);
+        // Hostile labels survive the escape/unescape round trip too.
+        let hostile = Trace {
+            spans: vec![SpanEvent {
+                name: "route",
+                label: "we\"ird\\label\nnewline".to_string(),
+                key: 3,
+                tid: 7,
+                start_ns: 12,
+                dur_ns: 34,
+            }],
+            counters: vec![("count\"er".to_string(), 9)],
+        };
+        assert_eq!(Trace::from_jsonl(&hostile.to_jsonl()).unwrap(), hostile);
+        // Malformed input is reported with its line number.
+        let err = Trace::from_jsonl("{\"type\":\"span\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(Trace::from_jsonl("not json").is_err());
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Shard execution: drives the planned grid through the streaming engine,
+//! folding each cell into the mergeable rollups as it lands.
+//!
+//! This is the layer that makes the sweep's memory footprint
+//! O(in-flight) instead of O(grid): [`run_sweep_shard`] hands the engine
+//! a [`paradrive_engine::JobSink`] that converts every
+//! [`paradrive_engine::CircuitReport`] into a compact [`SweepCell`]
+//! (dropping the routed circuit after reading its depth), absorbs it
+//! into the run's [`RunRollup`], and optionally journals it — the full
+//! report is never retained.
+//!
+//! Sharding rides on the deterministic cell identity from
+//! [`super::cell`]: `--shards N --shard i` selects the cells whose
+//! ordinal ≡ i (mod N), and [`merge_reports`] recombines any complete
+//! set of shard reports into a [`SweepOutcome`] whose rendered report is
+//! byte-identical to a single-process run — the rollups are exact
+//! monoids, and the cell rows sort back into canonical ordinal order.
+
+use super::cell::{costing_label, PlannedCell, SweepCell, SweepPlan};
+use super::checkpoint::{Journal, JournalContents, Meta};
+use super::rollup::{RunRollup, SweepRun};
+use super::spec::{SweepError, SweepSpec};
+use paradrive_engine::{run_batch_streaming, Batch, CircuitReport, EngineConfig, Trace};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How to slice and persist a sweep run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardOptions<'a> {
+    /// Total shard count (`0`/`1` both mean unsharded).
+    pub shards: usize,
+    /// This process's shard index in `0..shards`.
+    pub shard: usize,
+    /// Append each completed cell to this journal file.
+    pub journal: Option<&'a Path>,
+    /// Restore completed cells from an existing journal at `journal`
+    /// instead of truncating it, and skip re-running them.
+    pub resume: bool,
+}
+
+/// Everything a sweep produced: per-cell rows plus per-run aggregates.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The spec fingerprint the cells belong to (see
+    /// [`SweepPlan::fingerprint`]).
+    pub fingerprint: u64,
+    /// Total shard count this outcome was produced under (1 for an
+    /// unsharded or merged outcome).
+    pub shards: usize,
+    /// Which shard this outcome covers (0 for unsharded or merged).
+    pub shard: usize,
+    /// All cells in canonical ordinal order — for an unsharded run this
+    /// is costing → verification → topology → calibration → seed →
+    /// benchmark, exactly the legacy submission order.
+    pub cells: Vec<SweepCell>,
+    /// One entry per (costing, verification) engine run.
+    pub runs: Vec<SweepRun>,
+}
+
+/// Runs the full cross-product described by `spec` — one streaming
+/// engine batch per (costing, verification) pair.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for unknown axis values and propagates engine
+/// failures (e.g. a benchmark wider than a topology).
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepOutcome, SweepError> {
+    run_sweep_shard(spec, &ShardOptions::default())
+}
+
+/// Mutable state shared with the engine's worker threads through the
+/// job sink: completed cells, the streaming rollup, and the journal.
+/// The sink cannot return errors, so journal failures park here and
+/// surface once the batch drains.
+struct SinkState<'a> {
+    cells: Vec<SweepCell>,
+    rollup: RunRollup,
+    journal: Option<&'a mut Journal>,
+    journal_err: Option<SweepError>,
+}
+
+/// Runs one shard of the cross-product (see [`ShardOptions`]); with the
+/// default options this is the whole grid.
+///
+/// # Errors
+///
+/// Everything [`run_sweep`] returns, plus shard/journal problems:
+/// [`SweepError::ShardOutOfRange`], journal I/O errors, and
+/// [`SweepError::SpecMismatch`] when `--resume` finds a journal written
+/// by a different spec or shard.
+pub fn run_sweep_shard(
+    spec: &SweepSpec,
+    opts: &ShardOptions<'_>,
+) -> Result<SweepOutcome, SweepError> {
+    let plan = SweepPlan::new(spec)?;
+    let shards = opts.shards.max(1);
+    if opts.shard >= shards {
+        return Err(SweepError::ShardOutOfRange {
+            shard: opts.shard,
+            shards,
+        });
+    }
+    let meta = Meta {
+        fingerprint: plan.fingerprint(),
+        shards,
+        shard: opts.shard,
+    };
+
+    // Open the journal (restoring prior completions under --resume) and
+    // validate every restored cell against the plan: the fingerprint
+    // already matched, so a bad ordinal or digest means the file was
+    // edited or the planner changed underneath it.
+    let (mut journal, restored) = match opts.journal {
+        Some(path) if opts.resume => {
+            let (journal, cells) = Journal::resume(path, meta)?;
+            (Some(journal), cells)
+        }
+        Some(path) => (Some(Journal::create(path, meta)?), Vec::new()),
+        None => (None, Vec::new()),
+    };
+    let by_ordinal: HashMap<u64, &PlannedCell> =
+        plan.cells().iter().map(|c| (c.id.ordinal, c)).collect();
+    let mut restored_by_ordinal: HashMap<u64, SweepCell> = HashMap::new();
+    for cell in restored {
+        let journal_path = || {
+            opts.journal
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        };
+        let planned = by_ordinal
+            .get(&cell.ordinal)
+            .ok_or_else(|| SweepError::SpecMismatch {
+                path: journal_path(),
+                reason: format!(
+                    "journal cell ordinal {} is outside the planned grid",
+                    cell.ordinal
+                ),
+            })?;
+        if planned.id.digest != cell.digest {
+            return Err(SweepError::SpecMismatch {
+                path: journal_path(),
+                reason: format!(
+                    "journal cell {} has digest {:016x}, plan expects {:016x}",
+                    cell.ordinal, cell.digest, planned.id.digest
+                ),
+            });
+        }
+        if planned.id.shard(shards) != opts.shard {
+            return Err(SweepError::SpecMismatch {
+                path: journal_path(),
+                reason: format!(
+                    "journal cell {} belongs to shard {}, this run is shard {}",
+                    cell.ordinal,
+                    planned.id.shard(shards),
+                    opts.shard
+                ),
+            });
+        }
+        restored_by_ordinal.insert(cell.ordinal, cell);
+    }
+
+    let shard_cells = plan.shard_cells(shards, opts.shard);
+    let mut runs = Vec::with_capacity(plan.runs().len());
+    let mut all_cells: Vec<SweepCell> = Vec::with_capacity(shard_cells.len());
+
+    for (run_idx, &(costing, verify)) in plan.runs().iter().enumerate() {
+        let mut rollup = RunRollup::new();
+        // Restored cells fold in first; they are grid cells like any
+        // other, just with no wall time and no fresh engine work.
+        let mut pending: Vec<&PlannedCell> = Vec::new();
+        for cell in shard_cells.iter().filter(|c| c.run == run_idx) {
+            match restored_by_ordinal.remove(&cell.id.ordinal) {
+                Some(done) => {
+                    rollup.absorb(&done);
+                    all_cells.push(done);
+                }
+                None => pending.push(cell),
+            }
+        }
+
+        if pending.is_empty() {
+            // Fully restored (or an empty shard slice): no engine run.
+            runs.push(SweepRun {
+                costing: costing_label(costing),
+                verify: verify.label(),
+                threads: 0,
+                wall_clock: Duration::ZERO,
+                cache: None,
+                by_topology: rollup.by_topology(),
+                by_calibration: rollup.by_calibration(),
+                verification: rollup.verification(),
+                trace: Trace::default(),
+            });
+            continue;
+        }
+
+        // One heterogeneous batch per run, in ordinal order, sharing each
+        // topology's distance matrix and calibration table across cells.
+        let mut batch = Batch::with_shared(Arc::clone(plan.map(pending[0])));
+        for cell in &pending {
+            let (name, circuit) = plan.benchmark(cell);
+            batch.push_calibrated(
+                name.clone(),
+                circuit.clone(),
+                Arc::clone(plan.map(cell)),
+                Arc::clone(plan.calibration(cell)),
+            );
+        }
+        let config = EngineConfig::default()
+            .threads(spec.threads)
+            .routing_seeds(spec.routing_seeds)
+            .cache(spec.cache)
+            .costing(costing)
+            .noise_aware(spec.noise_aware)
+            .verify(verify)
+            .keep_routed(true);
+
+        let state = Mutex::new(SinkState {
+            cells: Vec::with_capacity(pending.len()),
+            rollup,
+            journal: journal.as_mut(),
+            journal_err: None,
+        });
+        let sink = |job: usize, report: CircuitReport| {
+            let planned = pending[job];
+            let r = &report.result;
+            let cell = SweepCell {
+                ordinal: planned.id.ordinal,
+                digest: planned.id.digest,
+                topology: report.topology,
+                calibration: report.calibration,
+                benchmark: r.name.clone(),
+                costing: costing_label(costing),
+                verify: verify.label(),
+                verification: report.verification,
+                suite_seed: plan.suite_seed(planned),
+                swaps: r.swaps,
+                // Depth is the one thing the routed circuit is kept for;
+                // read it and let the circuit drop right here, so peak
+                // retention stays proportional to in-flight jobs.
+                depth: report.routed.as_ref().map_or(0, |c| c.depth()),
+                blocks: r.blocks,
+                baseline_duration: r.baseline_duration,
+                optimized_duration: r.optimized_duration,
+                reduction_pct: r.duration_reduction_pct,
+                ft_improvement_pct: r.ft_improvement_pct,
+                optimized_ft: r.optimized_total_fidelity,
+                // Patched from the trace after the batch drains; the
+                // streaming engine does not time individual jobs inline.
+                wall: Duration::ZERO,
+            };
+            let mut state = state.lock().unwrap();
+            state.rollup.absorb(&cell);
+            if state.journal_err.is_none() {
+                if let Some(journal) = state.journal.as_mut() {
+                    if let Err(e) = journal.append(&cell) {
+                        state.journal_err = Some(e);
+                    }
+                }
+            }
+            state.cells.push(cell);
+        };
+        let summary = run_batch_streaming(&batch, &config, &sink)?;
+        let SinkState {
+            mut cells,
+            rollup,
+            journal_err,
+            ..
+        } = state.into_inner().unwrap();
+        if let Some(e) = journal_err {
+            return Err(e);
+        }
+
+        // Rebuild per-cell wall time (route + pipeline) from the trace,
+        // which keys every span by job index.
+        let mut wall_ns: HashMap<usize, u64> = HashMap::new();
+        for s in &summary.trace.spans {
+            *wall_ns.entry(s.key as usize).or_default() += s.dur_ns;
+        }
+        let ordinal_to_job: HashMap<u64, usize> = pending
+            .iter()
+            .enumerate()
+            .map(|(job, c)| (c.id.ordinal, job))
+            .collect();
+        for cell in &mut cells {
+            if let Some(job) = ordinal_to_job.get(&cell.ordinal) {
+                cell.wall = Duration::from_nanos(*wall_ns.get(job).unwrap_or(&0));
+            }
+        }
+
+        // Relabel engine spans (keyed by job index) with the cell's
+        // deterministic label, so a trace opened in Perfetto names cells
+        // the same way the timing report does. Route spans keep their
+        // per-seed `#N` suffix.
+        let mut trace = summary.trace.clone();
+        for s in &mut trace.spans {
+            if let Some(planned) = pending.get(s.key as usize) {
+                let (name, _) = plan.benchmark(planned);
+                let cell = format!(
+                    "{}/{}/{}@{}",
+                    plan.map(planned).label(),
+                    plan.calibration(planned).label(),
+                    name,
+                    plan.suite_seed(planned)
+                );
+                s.label = match s.label.rsplit_once('#') {
+                    Some((_, seed)) if s.name == "route" => format!("{cell}#{seed}"),
+                    _ => cell,
+                };
+            }
+        }
+
+        all_cells.extend(cells);
+        runs.push(SweepRun {
+            costing: costing_label(costing),
+            verify: verify.label(),
+            threads: summary.threads,
+            wall_clock: summary.wall_clock,
+            cache: summary.cache_stats(),
+            by_topology: rollup.by_topology(),
+            by_calibration: rollup.by_calibration(),
+            verification: rollup.verification(),
+            trace,
+        });
+    }
+
+    if let Some(journal) = journal.as_mut() {
+        journal.finish(shard_cells.len())?;
+    }
+    all_cells.sort_by_key(|c| c.ordinal);
+    Ok(SweepOutcome {
+        fingerprint: plan.fingerprint(),
+        shards,
+        shard: opts.shard,
+        cells: all_cells,
+        runs,
+    })
+}
+
+/// Recombines shard reports (or completed journals) into the outcome a
+/// single-process run of `spec` would have produced: validates that
+/// every input carries the spec's fingerprint and a consistent shard
+/// count, that the union of cells covers the planned grid exactly once
+/// with matching digests, then refolds the rollups through the same
+/// exact monoids the live runs used — so [`SweepOutcome::render`] is
+/// byte-identical to the unsharded run.
+///
+/// The merged outcome carries no wall-clock state (threads 0, empty
+/// traces): timings are per-process diagnostics, and the shard traces
+/// are spliced separately via [`super::splice_shard_traces`].
+///
+/// # Errors
+///
+/// [`SweepError::SpecMismatch`] for foreign fingerprints, inconsistent
+/// shard counts or digest conflicts; [`SweepError::Coverage`] when cells
+/// are missing (an incomplete journal) or duplicated.
+pub fn merge_reports(
+    spec: &SweepSpec,
+    reports: Vec<(String, JournalContents)>,
+) -> Result<SweepOutcome, SweepError> {
+    let plan = SweepPlan::new(spec)?;
+    let mut shards: Option<usize> = None;
+    let mut by_ordinal: HashMap<u64, SweepCell> = HashMap::new();
+    for (path, contents) in reports {
+        if contents.meta.fingerprint != plan.fingerprint() {
+            return Err(SweepError::SpecMismatch {
+                path,
+                reason: format!(
+                    "report fingerprint {:016x} does not match this spec ({:016x})",
+                    contents.meta.fingerprint,
+                    plan.fingerprint()
+                ),
+            });
+        }
+        match shards {
+            None => shards = Some(contents.meta.shards),
+            Some(n) if n != contents.meta.shards => {
+                return Err(SweepError::SpecMismatch {
+                    path,
+                    reason: format!(
+                        "report was produced with --shards {}, earlier inputs used --shards {n}",
+                        contents.meta.shards
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        for cell in contents.cells {
+            if let Some(prior) = by_ordinal.get(&cell.ordinal) {
+                if prior.digest != cell.digest {
+                    return Err(SweepError::SpecMismatch {
+                        path,
+                        reason: format!(
+                            "cell {} appears with conflicting digests {:016x} and {:016x}",
+                            cell.ordinal, prior.digest, cell.digest
+                        ),
+                    });
+                }
+                return Err(SweepError::Coverage(format!(
+                    "cell {} (digest {:016x}) appears in more than one report; \
+                     each grid cell must be covered exactly once",
+                    cell.ordinal, cell.digest
+                )));
+            }
+            by_ordinal.insert(cell.ordinal, cell);
+        }
+    }
+
+    // Coverage: the union must be exactly the planned grid.
+    let mut missing: Vec<u64> = Vec::new();
+    for planned in plan.cells() {
+        match by_ordinal.get(&planned.id.ordinal) {
+            None => missing.push(planned.id.ordinal),
+            Some(cell) if cell.digest != planned.id.digest => {
+                return Err(SweepError::SpecMismatch {
+                    path: "merged inputs".to_string(),
+                    reason: format!(
+                        "cell {} has digest {:016x}, plan expects {:016x}",
+                        cell.ordinal, cell.digest, planned.id.digest
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    if !missing.is_empty() {
+        let shown: Vec<String> = missing.iter().take(8).map(|o| o.to_string()).collect();
+        let suffix = if missing.len() > 8 { ", …" } else { "" };
+        return Err(SweepError::Coverage(format!(
+            "{} of {} planned cells missing from the merged reports \
+             (ordinals {}{suffix}); run the missing shards or finish the interrupted one",
+            missing.len(),
+            plan.cells().len(),
+            shown.join(", ")
+        )));
+    }
+    if by_ordinal.len() > plan.cells().len() {
+        let planned: std::collections::HashSet<u64> =
+            plan.cells().iter().map(|c| c.id.ordinal).collect();
+        let extra: Vec<String> = by_ordinal
+            .keys()
+            .filter(|o| !planned.contains(o))
+            .take(8)
+            .map(|o| o.to_string())
+            .collect();
+        return Err(SweepError::Coverage(format!(
+            "reports contain cells outside the planned grid (ordinals {})",
+            extra.join(", ")
+        )));
+    }
+
+    // Refold through the same monoids the live runs used.
+    let ordinal_to_run: HashMap<u64, usize> =
+        plan.cells().iter().map(|c| (c.id.ordinal, c.run)).collect();
+    let mut rollups: Vec<RunRollup> = vec![RunRollup::new(); plan.runs().len()];
+    let mut cells: Vec<SweepCell> = by_ordinal.into_values().collect();
+    cells.sort_by_key(|c| c.ordinal);
+    for cell in &cells {
+        rollups[ordinal_to_run[&cell.ordinal]].absorb(cell);
+    }
+    let runs = plan
+        .runs()
+        .iter()
+        .zip(rollups)
+        .map(|(&(costing, verify), rollup)| SweepRun {
+            costing: costing_label(costing),
+            verify: verify.label(),
+            threads: 0,
+            wall_clock: Duration::ZERO,
+            cache: None,
+            by_topology: rollup.by_topology(),
+            by_calibration: rollup.by_calibration(),
+            verification: rollup.verification(),
+            trace: Trace::default(),
+        })
+        .collect();
+    Ok(SweepOutcome {
+        fingerprint: plan.fingerprint(),
+        shards: 1,
+        shard: 0,
+        cells,
+        runs,
+    })
+}

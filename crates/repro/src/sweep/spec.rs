@@ -1,0 +1,568 @@
+//! Sweep axes and their grammars: [`SweepSpec`], the topology and
+//! calibration parsers, and the typed error surface ([`SweepError`]).
+
+use paradrive_engine::{Costing, EngineError, VerifyLevel};
+use paradrive_transpiler::calibration::Calibration;
+use paradrive_transpiler::fidelity::FidelityModel;
+use paradrive_transpiler::topology::CouplingMap;
+
+/// A sweep configuration: which cross-product to run and how.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Topology names, parsed by [`parse_topology`].
+    pub topologies: Vec<String>,
+    /// Benchmark names from the paper's Table VII suite.
+    pub benchmarks: Vec<String>,
+    /// Costing disciplines to sweep (one engine run each).
+    pub costings: Vec<Costing>,
+    /// Calibration scenario names, parsed by [`parse_calibration`] and
+    /// instantiated per topology.
+    pub calibrations: Vec<String>,
+    /// Verification levels to sweep (one engine run per costing × level;
+    /// `Off` keeps the legacy un-verified run).
+    pub verify: Vec<VerifyLevel>,
+    /// Workload seeds (one `standard_suite` instantiation each).
+    pub suite_seeds: Vec<u64>,
+    /// Seed for the stochastic calibration generators (`spread`,
+    /// `hotspot`) — one value covers the whole sweep deterministically.
+    pub calibration_seed: u64,
+    /// Best-of-N routing seeds per circuit.
+    pub routing_seeds: u64,
+    /// Route noise-aware on calibrated cells (the noise-blind scoring
+    /// stays the baseline when off).
+    pub noise_aware: bool,
+    /// Worker threads (`0` = all cores). Never affects the report.
+    pub threads: usize,
+    /// Decomposition cache on/off.
+    pub cache: bool,
+}
+
+impl SweepSpec {
+    /// The default full sweep: four zoo topologies × four benchmarks ×
+    /// both costing disciplines × three calibration scenarios.
+    pub fn full() -> Self {
+        SweepSpec {
+            topologies: ["grid4x4", "ring16", "heavyhex3", "modular2x8x2"]
+                .map(String::from)
+                .to_vec(),
+            benchmarks: ["GHZ", "VQE_L", "QFT", "QAOA"].map(String::from).to_vec(),
+            costings: vec![Costing::Hull, Costing::Synthesized],
+            calibrations: ["uniform", "spread0.3", "hotspot2"]
+                .map(String::from)
+                .to_vec(),
+            verify: vec![VerifyLevel::Off],
+            suite_seeds: vec![7],
+            calibration_seed: 17,
+            routing_seeds: 10,
+            noise_aware: false,
+            threads: 0,
+            cache: true,
+        }
+    }
+
+    /// A tiny cross-product for CI smoke runs: three topologies × two
+    /// family-class benchmarks × hull costing × the uniform calibration.
+    pub fn smoke() -> Self {
+        SweepSpec {
+            topologies: ["grid4x4", "ring16", "modular2x8x2"]
+                .map(String::from)
+                .to_vec(),
+            benchmarks: ["GHZ", "VQE_L"].map(String::from).to_vec(),
+            costings: vec![Costing::Hull],
+            calibrations: vec!["uniform".to_string()],
+            verify: vec![VerifyLevel::Off],
+            suite_seeds: vec![7],
+            calibration_seed: 17,
+            routing_seeds: 2,
+            noise_aware: false,
+            threads: 0,
+            cache: true,
+        }
+    }
+}
+
+/// A rejected topology spec, with the reason classified.
+///
+/// Every variant carries the offending input verbatim so batch callers
+/// (CLI `--topologies`, sweep specs) can report which entry failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyParseError {
+    /// The name matched no family of the grammar.
+    UnknownFamily(String),
+    /// A parameter was not an integer, or the family got the wrong number
+    /// of `x`-separated dimensions.
+    MalformedDims(String),
+    /// A dimension parsed but was zero — a degenerate (empty or
+    /// disconnected) device that the constructors would otherwise panic
+    /// on or silently build.
+    ZeroDim {
+        /// The rejected spec.
+        name: String,
+        /// Which dimension (0-based, in grammar order) was zero.
+        position: usize,
+    },
+    /// The dimensions were well-formed but the topology constructor
+    /// rejected their combination (e.g. more inter-chip links than chip
+    /// qubits).
+    Rejected {
+        /// The rejected spec.
+        name: String,
+        /// The constructor's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TopologyParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyParseError::UnknownFamily(name) => write!(
+                f,
+                "unknown topology `{name}` (expected grid<R>x<C>, line<N>, ring<N>, \
+                 heavyhex<D>, or modular<CHIPS>x<SIZE>x<LINKS>)"
+            ),
+            TopologyParseError::MalformedDims(name) => {
+                write!(f, "malformed topology dimensions in `{name}`")
+            }
+            TopologyParseError::ZeroDim { name, position } => write!(
+                f,
+                "degenerate topology `{name}`: dimension {} is zero",
+                position + 1
+            ),
+            TopologyParseError::Rejected { name, reason } => {
+                write!(f, "invalid topology `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyParseError {}
+
+/// Parses a topology name into a coupling map.
+///
+/// Grammar (case-insensitive, `-`/`_` ignored): `grid<R>x<C>`,
+/// `line<N>`, `ring<N>`, `heavyhex<D>`, `modular<CHIPS>x<SIZE>x<LINKS>`.
+///
+/// # Errors
+///
+/// Returns a [`TopologyParseError`] classifying the rejection: unknown
+/// family, malformed dimensions, a zero dimension (`ring0`,
+/// `heavy_hex0`, `modular0x4x1`, …), or constructor-level rejection.
+pub fn parse_topology(name: &str) -> Result<CouplingMap, TopologyParseError> {
+    let flat: String = name
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let malformed = || TopologyParseError::MalformedDims(name.to_string());
+    let dims = |s: &str| -> Result<Vec<usize>, TopologyParseError> {
+        s.split('x')
+            .map(|d| d.parse::<usize>().map_err(|_| malformed()))
+            .collect()
+    };
+    let positive = |v: usize, position: usize| -> Result<usize, TopologyParseError> {
+        (v > 0).then_some(v).ok_or(TopologyParseError::ZeroDim {
+            name: name.to_string(),
+            position,
+        })
+    };
+    if let Some(rest) = flat.strip_prefix("grid") {
+        let d = dims(rest)?;
+        let [rows, cols] = d[..] else {
+            return Err(malformed());
+        };
+        return Ok(CouplingMap::grid(positive(rows, 0)?, positive(cols, 1)?));
+    }
+    if let Some(rest) = flat.strip_prefix("line") {
+        let n: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::line(positive(n, 0)?));
+    }
+    if let Some(rest) = flat.strip_prefix("ring") {
+        let n: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::ring(positive(n, 0)?));
+    }
+    if let Some(rest) = flat.strip_prefix("heavyhex") {
+        let d: usize = rest.parse().map_err(|_| malformed())?;
+        return Ok(CouplingMap::heavy_hex(positive(d, 0)?));
+    }
+    if let Some(rest) = flat.strip_prefix("modular") {
+        let d = dims(rest)?;
+        let [chips, size, links] = d[..] else {
+            return Err(malformed());
+        };
+        // Links may legitimately be zero for a single chip; the
+        // constructor owns that rule. Chip count and size must be
+        // positive for the device to exist at all.
+        positive(chips, 0)?;
+        positive(size, 1)?;
+        return CouplingMap::modular(chips, size, links).map_err(|e| {
+            TopologyParseError::Rejected {
+                name: name.to_string(),
+                reason: e.to_string(),
+            }
+        });
+    }
+    Err(TopologyParseError::UnknownFamily(name.to_string()))
+}
+
+/// A rejected calibration scenario spec, with the reason classified —
+/// the calibration counterpart of [`TopologyParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CalibrationParseError {
+    /// The name matched no scenario family of the grammar.
+    UnknownScenario(String),
+    /// The family's parameter was not a number of the expected kind.
+    MalformedParameter(String),
+    /// The parameter parsed but the scenario generator rejected it (e.g.
+    /// more hotspot edges than the device has, a negative gradient).
+    Rejected {
+        /// The rejected spec.
+        name: String,
+        /// The generator's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CalibrationParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationParseError::UnknownScenario(name) => write!(
+                f,
+                "unknown calibration `{name}` (expected uniform, spread<SIGMA>, \
+                 hotspot<K>, or gradient<STRENGTH>)"
+            ),
+            CalibrationParseError::MalformedParameter(name) => {
+                write!(f, "malformed calibration parameter in `{name}`")
+            }
+            CalibrationParseError::Rejected { name, reason } => {
+                write!(f, "invalid calibration `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationParseError {}
+
+/// Parses a calibration scenario name against a topology.
+///
+/// Grammar (case-insensitive): `uniform`, `spread<SIGMA>`,
+/// `hotspot<K>`, `gradient<STRENGTH>` — e.g. `spread0.3` for lognormal
+/// variation with σ = 0.3, `hotspot2` for two seeded dead/degraded edges.
+/// Labels produced by the generators parse back to an equivalent
+/// scenario, so they can be copied from a report into `--calibrations`.
+///
+/// ```
+/// use paradrive_repro::sweep::parse_calibration;
+/// use paradrive_transpiler::fidelity::FidelityModel;
+/// use paradrive_transpiler::topology::CouplingMap;
+///
+/// let map = CouplingMap::grid(4, 4);
+/// let cal = parse_calibration("hotspot2", &map, FidelityModel::paper(), 17)?;
+/// assert_eq!(cal.label(), "hotspot2");
+/// assert!(!cal.is_uniform());
+/// # Ok::<(), paradrive_repro::sweep::CalibrationParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`CalibrationParseError`] classifying the rejection: unknown
+/// scenario family, malformed parameter, or a parameter the generator
+/// rejected.
+pub fn parse_calibration(
+    name: &str,
+    map: &CouplingMap,
+    base: FidelityModel,
+    seed: u64,
+) -> Result<Calibration, CalibrationParseError> {
+    let flat = name.to_ascii_lowercase();
+    let malformed = || CalibrationParseError::MalformedParameter(name.to_string());
+    let rejected = |e: paradrive_transpiler::TranspileError| CalibrationParseError::Rejected {
+        name: name.to_string(),
+        reason: e.to_string(),
+    };
+    let param = |rest: &str| -> Result<f64, CalibrationParseError> {
+        rest.parse::<f64>().map_err(|_| malformed())
+    };
+    if flat == "uniform" {
+        return Ok(Calibration::uniform(map, base));
+    }
+    if let Some(rest) = flat.strip_prefix("spread") {
+        return Calibration::spread(map, base, param(rest)?, seed).map_err(rejected);
+    }
+    if let Some(rest) = flat.strip_prefix("hotspot") {
+        let k: usize = rest.parse().map_err(|_| malformed())?;
+        return Calibration::hotspot(map, base, k, seed).map_err(rejected);
+    }
+    if let Some(rest) = flat.strip_prefix("gradient") {
+        return Calibration::gradient(map, base, param(rest)?).map_err(rejected);
+    }
+    Err(CalibrationParseError::UnknownScenario(name.to_string()))
+}
+
+/// Everything a sweep can fail with, classified — replaces the former
+/// stringly-typed `Result<_, String>` surface of `run_sweep`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// An axis of the cross-product was empty.
+    EmptyAxis(&'static str),
+    /// A topology name was rejected.
+    Topology(TopologyParseError),
+    /// A calibration scenario name was rejected.
+    Calibration(CalibrationParseError),
+    /// A benchmark name matched nothing in the suite.
+    UnknownBenchmark {
+        /// The unmatched name.
+        name: String,
+        /// The suite's known benchmark names, comma-joined.
+        known: String,
+    },
+    /// The shard selection was out of range (`shard` must be `< shards`,
+    /// `shards` must be positive).
+    ShardOutOfRange {
+        /// Requested shard index.
+        shard: usize,
+        /// Requested shard count.
+        shards: usize,
+    },
+    /// An engine run failed (e.g. a benchmark wider than its topology).
+    Engine(EngineError),
+    /// A journal or shard-report file could not be read or written.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A journal or shard-report line did not parse or failed validation.
+    Corrupt {
+        /// The file involved.
+        path: String,
+        /// 1-based line number (0 when the problem is file-level).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A journal or shard report belongs to a different sweep (or shard)
+    /// than the one being resumed or merged.
+    SpecMismatch {
+        /// The file involved.
+        path: String,
+        /// How it disagrees.
+        reason: String,
+    },
+    /// Merged shard reports do not cover the grid exactly once.
+    Coverage(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptyAxis(axis) => {
+                write!(f, "sweep needs at least one {axis}")
+            }
+            SweepError::Topology(e) => e.fmt(f),
+            SweepError::Calibration(e) => e.fmt(f),
+            SweepError::UnknownBenchmark { name, known } => {
+                write!(f, "unknown benchmark `{name}` (suite: {known})")
+            }
+            SweepError::ShardOutOfRange { shard, shards } => write!(
+                f,
+                "shard {shard} out of range for {shards} shard(s) (need 0 <= shard < shards)"
+            ),
+            SweepError::Engine(e) => e.fmt(f),
+            SweepError::Io { path, source } => write!(f, "{path}: {source}"),
+            SweepError::Corrupt { path, line, reason } => {
+                if *line == 0 {
+                    write!(f, "{path}: {reason}")
+                } else {
+                    write!(f, "{path}:{line}: {reason}")
+                }
+            }
+            SweepError::SpecMismatch { path, reason } => {
+                write!(f, "{path}: sweep mismatch: {reason}")
+            }
+            SweepError::Coverage(reason) => write!(f, "incomplete shard coverage: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Topology(e) => Some(e),
+            SweepError::Calibration(e) => Some(e),
+            SweepError::Engine(e) => Some(e),
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyParseError> for SweepError {
+    fn from(e: TopologyParseError) -> Self {
+        SweepError::Topology(e)
+    }
+}
+
+impl From<CalibrationParseError> for SweepError {
+    fn from(e: CalibrationParseError) -> Self {
+        SweepError::Calibration(e)
+    }
+}
+
+impl From<EngineError> for SweepError {
+    fn from(e: EngineError) -> Self {
+        SweepError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_grammar_round_trips() {
+        assert_eq!(parse_topology("grid4x4").unwrap().label(), "grid4x4");
+        assert_eq!(parse_topology("RING16").unwrap().label(), "ring16");
+        assert_eq!(parse_topology("heavy-hex3").unwrap().label(), "heavy-hex3");
+        assert_eq!(parse_topology("heavy_hex3").unwrap().label(), "heavy-hex3");
+        assert_eq!(parse_topology("line16").unwrap().label(), "line16");
+        assert_eq!(
+            parse_topology("modular2x8x2").unwrap().label(),
+            "modular2x8x2"
+        );
+        // Every zoo label parses back to itself, so labels can be copied
+        // from a report straight into `--topologies`.
+        for name in ["grid4x4", "ring16", "heavy-hex3", "line16", "modular2x8x2"] {
+            let label = parse_topology(name).unwrap().label().to_string();
+            assert_eq!(parse_topology(&label).unwrap().label(), label);
+        }
+    }
+
+    #[test]
+    fn topology_rejection_grammar_is_typed() {
+        use TopologyParseError as E;
+        let zero = |name: &str, position: usize| E::ZeroDim {
+            name: name.to_string(),
+            position,
+        };
+        // One row per rejection class × family: (spec, expected error).
+        let table: Vec<(&str, E)> = vec![
+            // Unknown families.
+            ("torus4", E::UnknownFamily("torus4".into())),
+            ("", E::UnknownFamily("".into())),
+            // Malformed dimensions: wrong arity or non-integers.
+            ("grid4", E::MalformedDims("grid4".into())),
+            ("gridx4", E::MalformedDims("gridx4".into())),
+            ("grid4x4x4", E::MalformedDims("grid4x4x4".into())),
+            ("line", E::MalformedDims("line".into())),
+            ("ring1.5", E::MalformedDims("ring1.5".into())),
+            ("heavyhexx", E::MalformedDims("heavyhexx".into())),
+            ("modular2x8", E::MalformedDims("modular2x8".into())),
+            ("modular2x8x", E::MalformedDims("modular2x8x".into())),
+            // Degenerate (zero-size) specs, including the aliased
+            // spellings — these used to surface as untyped strings.
+            ("ring0", zero("ring0", 0)),
+            ("line0", zero("line0", 0)),
+            ("grid0x4", zero("grid0x4", 0)),
+            ("grid4x0", zero("grid4x0", 1)),
+            ("heavy_hex0", zero("heavy_hex0", 0)),
+            ("heavy-hex0", zero("heavy-hex0", 0)),
+            ("modular0x4x1", zero("modular0x4x1", 0)),
+            ("modular2x0x1", zero("modular2x0x1", 1)),
+        ];
+        for (spec, expected) in table {
+            assert_eq!(
+                parse_topology(spec).unwrap_err(),
+                expected,
+                "`{spec}` misclassified"
+            );
+        }
+        // Constructor-level rejections (well-formed, positive dimensions,
+        // impossible combination) surface as typed errors, not panics.
+        for bad in ["modular2x8x9", "modular2x8x0"] {
+            match parse_topology(bad).unwrap_err() {
+                E::Rejected { name, reason } => {
+                    assert_eq!(name, bad);
+                    assert!(!reason.is_empty());
+                }
+                other => panic!("`{bad}`: expected Rejected, got {other:?}"),
+            }
+        }
+        // But zero links on a single chip is a real device.
+        assert!(parse_topology("modular1x4x0").is_ok());
+        // Errors render through Display for CLI surfacing.
+        let msg = parse_topology("ring0").unwrap_err().to_string();
+        assert!(msg.contains("ring0"), "{msg}");
+    }
+
+    #[test]
+    fn calibration_grammar_round_trips() {
+        let map = parse_topology("grid4x4").unwrap();
+        let base = FidelityModel::paper();
+        for name in [
+            "uniform",
+            "spread0.3",
+            "spread0.125",
+            "hotspot2",
+            "gradient1.5",
+        ] {
+            let cal = parse_calibration(name, &map, base, 17).unwrap();
+            // Labels copied from a report parse back to an equivalent
+            // scenario (same generator, same parameters, same seed).
+            let again = parse_calibration(cal.label(), &map, base, 17).unwrap();
+            assert_eq!(cal, again, "label `{}` did not round-trip", cal.label());
+        }
+        assert_eq!(
+            parse_calibration("UNIFORM", &map, base, 0).unwrap().label(),
+            "uniform"
+        );
+    }
+
+    #[test]
+    fn calibration_rejection_grammar_is_typed() {
+        use CalibrationParseError as E;
+        let map = parse_topology("grid4x4").unwrap();
+        let base = FidelityModel::paper();
+        // One row per rejection class × family: (spec, expected error).
+        let table: Vec<(&str, E)> = vec![
+            // Unknown scenario families.
+            ("fog", E::UnknownScenario("fog".into())),
+            ("", E::UnknownScenario("".into())),
+            ("uniform2", E::UnknownScenario("uniform2".into())),
+            // Malformed parameters: missing, non-numeric, or the wrong
+            // numeric kind (hotspot counts edges, so `2.5` is malformed).
+            ("spread", E::MalformedParameter("spread".into())),
+            ("spreadx", E::MalformedParameter("spreadx".into())),
+            ("hotspot", E::MalformedParameter("hotspot".into())),
+            ("hotspot2.5", E::MalformedParameter("hotspot2.5".into())),
+            ("gradient", E::MalformedParameter("gradient".into())),
+            ("gradient1.5x", E::MalformedParameter("gradient1.5x".into())),
+        ];
+        for (spec, expected) in table {
+            assert_eq!(
+                parse_calibration(spec, &map, base, 17).unwrap_err(),
+                expected,
+                "`{spec}` misclassified"
+            );
+        }
+        // Generator-level rejections (well-formed parameter, impossible
+        // scenario) carry the generator's reason.
+        for bad in ["hotspot999", "gradient-1", "spread-0.5"] {
+            match parse_calibration(bad, &map, base, 17).unwrap_err() {
+                E::Rejected { name, reason } => {
+                    assert_eq!(name, bad);
+                    assert!(!reason.is_empty());
+                }
+                other => panic!("`{bad}`: expected Rejected, got {other:?}"),
+            }
+        }
+        // Errors render through Display for CLI surfacing.
+        let msg = parse_calibration("fog", &map, base, 17)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("fog") && msg.contains("uniform"), "{msg}");
+    }
+}
