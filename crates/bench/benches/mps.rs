@@ -1,0 +1,89 @@
+//! Matrix-product-state simulator and oracle throughput: what a bonded
+//! run costs at the default χ=64 budget, what the transfer-matrix overlap
+//! costs on top, and what the wide-circuit verification path — the MPS
+//! backend's reason to exist — costs end to end on a routed 64-qubit QFT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paradrive_circuit::benchmarks;
+use paradrive_sim::{MpsOptions, MpsState};
+use paradrive_transpiler::consolidate::consolidate;
+use paradrive_transpiler::routing::route;
+use paradrive_transpiler::topology::CouplingMap;
+use paradrive_verify::{verify, Physical, VerifyConfig, VerifyLevel};
+use std::hint::black_box;
+
+/// Entangling workloads through the bonded simulator: QAOA entangles
+/// genuinely (χ grows to the cap), QFT from `|0…0⟩` stays bond-1 so its
+/// cost is pure per-gate overhead — the two ends of the χ spectrum.
+fn bench_mps_run(c: &mut Criterion) {
+    let qaoa = benchmarks::qaoa(12, 2, 7);
+    let qft = benchmarks::qft(16);
+    // Bond-capped but budget-free: the QAOA workload truncates on
+    // purpose, so the default 1e-6 budget would abort it.
+    let opts = MpsOptions::exact().max_bond(64);
+    c.bench_function("mps/run/qaoa12-bond64", |b| {
+        b.iter(|| MpsState::run(black_box(&qaoa), opts).unwrap())
+    });
+    c.bench_function("mps/run/qft16-bond64", |b| {
+        b.iter(|| MpsState::run(black_box(&qft), opts).unwrap())
+    });
+}
+
+/// The transfer-matrix overlap on two independently evolved 16-qubit
+/// states: the O(n·χ⁴) contraction every MPS verdict ends with.
+fn bench_mps_overlap(c: &mut Criterion) {
+    let opts = MpsOptions::exact().max_bond(64);
+    let a = MpsState::run(&benchmarks::qaoa(12, 2, 7), opts).unwrap();
+    let b2 = MpsState::run(&benchmarks::qaoa(12, 2, 8), opts).unwrap();
+    c.bench_function("mps/overlap/qaoa12", |b| {
+        b.iter(|| black_box(&a).overlap(black_box(&b2)))
+    });
+}
+
+/// The full MPS oracle on a routed + consolidated circuit, at both ends
+/// of the width axis: a 16-qubit grid workload and the wide-benchmark
+/// QFT-64 on heavy-hex — the acceptance path that must stay CI-sized.
+fn bench_mps_oracle(c: &mut Criterion) {
+    let cfg = VerifyConfig::default().level(VerifyLevel::Mps);
+
+    let map = CouplingMap::grid(4, 4);
+    let circuit = benchmarks::qft(16);
+    let routed = route(&circuit, &map, 0).expect("routable");
+    let items = consolidate(&routed.circuit).expect("consolidatable");
+    c.bench_function("verify/mps/qft16-grid4x4", |b| {
+        b.iter(|| {
+            verify(
+                black_box(&circuit),
+                &Physical::Consolidated {
+                    items: &items,
+                    n_qubits: map.n_qubits(),
+                },
+                &routed.layout,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+
+    let wide_map = CouplingMap::heavy_hex(6);
+    let wide = benchmarks::qft(64);
+    let wide_routed = route(&wide, &wide_map, 0).expect("routable");
+    let wide_items = consolidate(&wide_routed.circuit).expect("consolidatable");
+    c.bench_function("verify/mps/qft64-heavyhex6", |b| {
+        b.iter(|| {
+            verify(
+                black_box(&wide),
+                &Physical::Consolidated {
+                    items: &wide_items,
+                    n_qubits: wide_map.n_qubits(),
+                },
+                &wide_routed.layout,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_mps_run, bench_mps_overlap, bench_mps_oracle);
+criterion_main!(benches);

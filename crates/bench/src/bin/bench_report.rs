@@ -35,7 +35,7 @@ use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 /// The tracked suites, in run order.
-const SUITES: [&str; 5] = ["kernels", "engine", "verify", "topologies", "sweep"];
+const SUITES: [&str; 6] = ["kernels", "engine", "verify", "mps", "topologies", "sweep"];
 
 /// Allowed relative regression of a calibration-normalized median before
 /// `--check` fails (0.2 = 20%).

@@ -266,6 +266,35 @@ pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
     c
 }
 
+/// QAOA for MaxCut on a *star* graph: every cost edge couples the hub
+/// (qubit 0) to one leaf, so almost every two-qubit gate is long-range on
+/// any planar topology — the stress case for swap networks and for the
+/// MPS oracle's transport cost. The star is also what keeps wide
+/// instances *verifiable*: conditioned on the hub the cost layer is a
+/// product of single-qubit phases, so the state's Schmidt rank stays ≤ 2
+/// across **any** bipartition — including the scrambled positional cuts a
+/// routed layout induces — no matter how wide the register. Per-edge
+/// angles are seed-jittered so no two edges commute to the same phase.
+pub fn long_range_qaoa(n: usize, p: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.push_1q(OneQ::H, q);
+    }
+    for layer in 0..p {
+        let gamma = 0.4 + 0.17 * layer as f64;
+        let beta = 0.9 - 0.23 * layer as f64;
+        for leaf in 1..n {
+            let jitter = rng.gen_range(-0.05..0.05);
+            c.push_2q(TwoQ::Rzz(2.0 * gamma + jitter), 0, leaf);
+        }
+        for q in 0..n {
+            c.push_1q(OneQ::Rx(2.0 * beta), q);
+        }
+    }
+    c
+}
+
 /// One benchmark instance: a name and its circuit.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
@@ -313,6 +342,24 @@ pub fn standard_suite(seed: u64) -> Vec<Benchmark> {
         Benchmark {
             name: "Multiplier",
             circuit: multiplier(4),
+        },
+    ]
+}
+
+/// The wide-circuit family: 64-qubit workloads far beyond the dense
+/// oracle's reach, exercised by the matrix-product-state verification
+/// path. `QFT_64` is bond-trivial from `|0…0⟩` but swap-heavy once
+/// routed; `QAOA_LR` forces long-range entangling gates across the whole
+/// register.
+pub fn wide_suite(seed: u64) -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "QFT_64",
+            circuit: qft(64),
+        },
+        Benchmark {
+            name: "QAOA_LR",
+            circuit: long_range_qaoa(64, 1, seed),
         },
     ]
 }
@@ -402,6 +449,34 @@ mod tests {
         };
         assert!(count("Multiplier") > count("QFT"));
         assert!(count("VQE_F") > count("VQE_L"));
+    }
+
+    #[test]
+    fn long_range_qaoa_spans_the_register() {
+        let c = long_range_qaoa(64, 1, 7);
+        assert_eq!(c.n_qubits(), 64);
+        // Star: one hub edge per leaf per layer.
+        assert_eq!(c.two_q_count(), 63);
+        // Most edges are genuinely long-range (span > half the register).
+        let long = c
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                crate::ir::Op::TwoQ { a, b, .. } => a.abs_diff(*b) > 32,
+                _ => false,
+            })
+            .count();
+        assert!(long >= 31, "only {long} long-range edges in the cost graph");
+    }
+
+    #[test]
+    fn wide_suite_shape() {
+        let suite = wide_suite(7);
+        assert_eq!(suite.len(), 2);
+        for b in &suite {
+            assert_eq!(b.circuit.n_qubits(), 64, "{} has wrong width", b.name);
+            assert!(b.circuit.two_q_count() > 0);
+        }
     }
 
     #[test]

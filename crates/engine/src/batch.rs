@@ -226,6 +226,11 @@ pub struct EngineConfig {
     /// Base seed for the Monte-Carlo verification inputs; verdicts are a
     /// pure function of `(job, seed)`, never of the thread count.
     pub verify_seed: u64,
+    /// Bond-dimension cap for the MPS verification oracle.
+    pub verify_max_bond: usize,
+    /// Overlap-infidelity tolerance (beyond the certified truncation
+    /// bound) for the MPS verification oracle.
+    pub verify_mps_tol: f64,
 }
 
 impl Default for EngineConfig {
@@ -243,6 +248,8 @@ impl Default for EngineConfig {
             verify: VerifyLevel::Off,
             verify_samples: verify_defaults.samples,
             verify_seed: verify_defaults.seed,
+            verify_max_bond: verify_defaults.max_bond,
+            verify_mps_tol: verify_defaults.mps_tol,
         }
     }
 }
@@ -302,12 +309,26 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the MPS verification oracle's bond-dimension cap.
+    pub fn verify_max_bond(mut self, max_bond: usize) -> Self {
+        self.verify_max_bond = max_bond;
+        self
+    }
+
+    /// Sets the MPS verification oracle's overlap-infidelity tolerance.
+    pub fn verify_mps_tol(mut self, mps_tol: f64) -> Self {
+        self.verify_mps_tol = mps_tol;
+        self
+    }
+
     /// The per-job verification configuration this engine config implies.
     pub fn verify_config(&self) -> VerifyConfig {
         VerifyConfig::default()
             .level(self.verify)
             .samples(self.verify_samples)
             .seed(self.verify_seed)
+            .max_bond(self.verify_max_bond)
+            .mps_tol(self.verify_mps_tol)
     }
 
     /// The effective worker count for this configuration.

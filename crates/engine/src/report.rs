@@ -205,6 +205,7 @@ impl EngineReport {
     pub fn verification_summary(&self) -> Option<VerificationSummary> {
         let mut summary = VerificationSummary {
             exact: 0,
+            mps: 0,
             sampled: 0,
             skipped: 0,
             errors: 0,
@@ -216,6 +217,7 @@ impl EngineReport {
             any = true;
             match v {
                 Verification::Exact { .. } => summary.exact += 1,
+                Verification::Mps { .. } => summary.mps += 1,
                 Verification::Sampled { .. } => summary.sampled += 1,
                 Verification::Skipped { .. } => summary.skipped += 1,
                 Verification::Error { .. } => summary.errors += 1,
@@ -243,6 +245,8 @@ impl EngineReport {
 pub struct VerificationSummary {
     /// Jobs verified by the exact unitary oracle.
     pub exact: usize,
+    /// Jobs verified by the matrix-product-state overlap oracle.
+    pub mps: usize,
     /// Jobs verified by the Monte-Carlo oracle.
     pub sampled: usize,
     /// Jobs whose verification was skipped (too wide to simulate) — a
@@ -266,10 +270,16 @@ impl VerificationSummary {
 
 impl fmt::Display for VerificationSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify: {} exact, ", self.exact)?;
+        // The MPS count renders only when present, keeping the summary
+        // line byte-stable for the (common) batches that never escalate.
+        if self.mps > 0 {
+            write!(f, "{} mps, ", self.mps)?;
+        }
         write!(
             f,
-            "verify: {} exact, {} sampled, {} skipped, {} failed",
-            self.exact, self.sampled, self.skipped, self.failed
+            "{} sampled, {} skipped, {} failed",
+            self.sampled, self.skipped, self.failed
         )?;
         if self.errors > 0 {
             write!(f, " ({} oracle errors)", self.errors)?;

@@ -12,6 +12,7 @@
 //!   characteristic-polynomial eigenvalue path for general small matrices.
 //! - [`poly`](poly::roots) — Durand–Kerner (Weierstrass) polynomial roots.
 //! - [`qr`] — complex Householder QR and Haar-random unitary sampling.
+//! - [`svd`](svd::svd) — one-sided Jacobi singular value decomposition.
 //! - [`paulis`] — the standard 1-qubit operator zoo.
 //!
 //! # Example
@@ -35,6 +36,7 @@ pub mod mat;
 pub mod paulis;
 pub mod poly;
 pub mod qr;
+pub mod svd;
 
 pub use complex::C64;
 pub use mat::CMat;

@@ -5,8 +5,8 @@
 //! cargo run --release -p paradrive-repro --bin engine -- \
 //!     [--threads N] [--seeds N] [--no-cache] [--synth] [--suite-seed N] \
 //!     [--calibration SPEC] [--calibration-seed N] [--noise-aware] \
-//!     [--verify off|sampled|exact] [--verify-samples K] [--verify-seed N] \
-//!     [NAME ...]
+//!     [--verify off|sampled|mps|exact] [--verify-samples K] [--verify-seed N] \
+//!     [--verify-max-bond CHI] [--verify-mps-tol TOL] [NAME ...]
 //! ```
 //!
 //! `--synth` prices general classes by per-target template synthesis (the
@@ -19,9 +19,12 @@
 //!
 //! `--verify` makes the run self-checking: each job's consolidated output
 //! is replayed through the semantic equivalence oracles (`exact` up to the
-//! routed permutation on ≤10-qubit supports, seeded Monte-Carlo beyond,
-//! `--verify-samples` inputs per circuit) and the process exits non-zero
-//! if any job fails.
+//! routed permutation on ≤10-qubit supports, matrix-product-state overlap
+//! with a certified truncation bound beyond — or always with `mps` — and
+//! seeded Monte-Carlo with `--verify-samples` inputs when the bond budget
+//! runs out) and the process exits non-zero if any job fails.
+//! `--verify-max-bond` caps the MPS bond dimension; `--verify-mps-tol` is
+//! the infidelity the MPS verdict tolerates beyond its truncation bound.
 //!
 //! Positional `NAME`s select benchmarks (case-insensitive: QV, VQE_L, GHZ,
 //! HLF, QFT, Adder, QAOA, VQE_F, Multiplier); with none given the full
@@ -53,6 +56,8 @@ struct Args {
     verify: VerifyLevel,
     verify_samples: u32,
     verify_seed: u64,
+    verify_max_bond: usize,
+    verify_mps_tol: f64,
     trace: Option<String>,
     timings: bool,
     names: Vec<String>,
@@ -72,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         verify: VerifyLevel::Off,
         verify_samples: defaults.verify_samples,
         verify_seed: defaults.verify_seed,
+        verify_max_bond: defaults.verify_max_bond,
+        verify_mps_tol: defaults.verify_mps_tol,
         trace: None,
         timings: false,
         names: Vec::new(),
@@ -119,14 +126,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--verify-seed: {e}"))?;
             }
+            "--verify-max-bond" => {
+                args.verify_max_bond = value("--verify-max-bond")?
+                    .parse()
+                    .map_err(|e| format!("--verify-max-bond: {e}"))?;
+            }
+            "--verify-mps-tol" => {
+                args.verify_mps_tol = value("--verify-mps-tol")?
+                    .parse()
+                    .map_err(|e| format!("--verify-mps-tol: {e}"))?;
+            }
             "--trace" => args.trace = Some(value("--trace")?),
             "--timings" => args.timings = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: engine [--threads N] [--seeds N] [--no-cache] [--synth] \
                             [--suite-seed N] [--calibration SPEC] [--calibration-seed N] \
-                            [--noise-aware] [--verify off|sampled|exact] [--verify-samples K] \
-                            [--verify-seed N] [--trace FILE] [--timings] [NAME ...]"
+                            [--noise-aware] [--verify off|sampled|mps|exact] [--verify-samples K] \
+                            [--verify-seed N] [--verify-max-bond CHI] [--verify-mps-tol TOL] \
+                            [--trace FILE] [--timings] [NAME ...]"
                         .to_string(),
                 )
             }
@@ -200,7 +218,9 @@ fn main() -> ExitCode {
         .noise_aware(args.noise_aware)
         .verify(args.verify)
         .verify_samples(args.verify_samples)
-        .verify_seed(args.verify_seed);
+        .verify_seed(args.verify_seed)
+        .verify_max_bond(args.verify_max_bond)
+        .verify_mps_tol(args.verify_mps_tol);
     println!(
         "engine: {} circuits, {} threads, best-of-{} routing, cache {}, {} costing, \
          {} calibration{}, {} verification",

@@ -7,7 +7,7 @@
 //!     [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] [--no-cache] \
 //!     [--topologies T1,T2,..] [--benchmarks B1,B2,..] [--costings hull,synth] \
 //!     [--calibrations C1,C2,..] [--calibration-seed N] [--noise-aware] \
-//!     [--verify off,sampled,exact] [--timings] \
+//!     [--verify off,sampled,mps,exact] [--timings] \
 //!     [--shards N --shard I] [--journal FILE [--resume]] [--out FILE]
 //! ```
 //!
@@ -24,8 +24,10 @@
 //! `--verify` adds semantic verification as a fifth sweep axis: each
 //! level replays every cell's consolidated output through the equivalence
 //! oracles (`exact` up to the routed permutation on ≤10-qubit supports,
-//! seeded Monte-Carlo beyond) and annotates the report with the verdicts.
-//! The process exits non-zero if any cell fails verification.
+//! matrix-product-state overlap with a certified truncation bound beyond
+//! — or always with `mps` — and seeded Monte-Carlo when the bond budget
+//! runs out) and annotates the report with the verdicts. The process
+//! exits non-zero if any cell fails verification.
 //!
 //! # Sharding, journals and merge
 //!
@@ -74,7 +76,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
      [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] \
      [--calibrations C1,..] [--calibration-seed N] [--noise-aware] \
-     [--verify off,sampled,exact] [--timings] [--trace FILE] [--trace-jsonl FILE] \
+     [--verify off,sampled,mps,exact] [--timings] [--trace FILE] [--trace-jsonl FILE] \
      [--shards N --shard I] [--journal FILE [--resume]] [--out FILE]
        sweep merge <spec flags> [--out FILE] [--shard-traces A,B,..] REPORT.jsonl..";
 

@@ -9,7 +9,7 @@
 //! validates coverage by checking the union of ordinals against the plan.
 
 use super::spec::{parse_calibration, parse_topology, SweepError, SweepSpec};
-use paradrive_circuit::benchmarks::standard_suite;
+use paradrive_circuit::benchmarks::{standard_suite, wide_suite};
 use paradrive_circuit::Circuit;
 use paradrive_engine::{Costing, EngineConfig, Verification, VerifyLevel};
 use paradrive_transpiler::calibration::Calibration;
@@ -136,9 +136,12 @@ impl SweepPlan {
             cals.push(per_map);
         }
         // Instantiate each workload seed once; cells clone circuits later.
+        // The wide 64-qubit family rides along so `--benchmarks QFT_64`
+        // reaches the MPS verification path on big topologies.
         let mut circuits: Vec<Vec<(String, Circuit)>> = Vec::new();
         for &seed in &spec.suite_seeds {
-            let suite = standard_suite(seed);
+            let mut suite = standard_suite(seed);
+            suite.extend(wide_suite(seed));
             let mut rows = Vec::new();
             for want in &spec.benchmarks {
                 let b = suite

@@ -106,6 +106,17 @@ fn verification_json(v: &Verification) -> String {
             "{{\"method\":\"exact\",\"fidelity\":{},\"columns\":{columns},\"width\":{width},\"passed\":{passed}}}",
             fmt_f64(*fidelity)
         ),
+        Verification::Mps {
+            fidelity,
+            trunc_bound,
+            max_bond_used,
+            width,
+            passed,
+        } => format!(
+            "{{\"method\":\"mps\",\"fidelity\":{},\"trunc_bound\":{},\"max_bond_used\":{max_bond_used},\"width\":{width},\"passed\":{passed}}}",
+            fmt_f64(*fidelity),
+            fmt_f64(*trunc_bound)
+        ),
         Verification::Sampled {
             min_fidelity,
             samples,
@@ -220,6 +231,13 @@ fn parse_verification(v: &Value) -> Result<Option<Verification>, String> {
             width: usize_field(v, "width")?,
             passed: bool_field(v, "passed")?,
         },
+        "mps" => Verification::Mps {
+            fidelity: f64_field(v, "fidelity")?,
+            trunc_bound: f64_field(v, "trunc_bound")?,
+            max_bond_used: usize_field(v, "max_bond_used")?,
+            width: usize_field(v, "width")?,
+            passed: bool_field(v, "passed")?,
+        },
         "sampled" => Verification::Sampled {
             min_fidelity: f64_field(v, "min_fidelity")?,
             samples: usize_field(v, "samples")?,
@@ -246,6 +264,7 @@ fn parse_cell(v: &Value) -> Result<SweepCell, String> {
     let verify = match str_field(v, "verify")? {
         "off" => "off",
         "sampled" => "sampled",
+        "mps" => "mps",
         "exact" => "exact",
         other => return Err(format!("unknown verify label {other:?}")),
     };
@@ -528,6 +547,17 @@ mod tests {
         });
         let parsed = parse_cell(&json::parse(&cell_line(&skip)).unwrap()).unwrap();
         assert_cells_round_trip(&skip, &parsed);
+        let mut mps = sample_cell(11);
+        mps.verify = "mps";
+        mps.verification = Some(Verification::Mps {
+            fidelity: 0.999_876_543_21,
+            trunc_bound: 3.2e-4,
+            max_bond_used: 37,
+            width: 64,
+            passed: true,
+        });
+        let parsed = parse_cell(&json::parse(&cell_line(&mps)).unwrap()).unwrap();
+        assert_cells_round_trip(&mps, &parsed);
         let mut none = sample_cell(10);
         none.verification = None;
         let parsed = parse_cell(&json::parse(&cell_line(&none)).unwrap()).unwrap();

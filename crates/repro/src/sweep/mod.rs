@@ -103,18 +103,18 @@ mod tests {
         assert_eq!((off.verify, exact.verify), ("off", "exact"));
         assert!(off.verification.is_none());
         // The 16-qubit suite exceeds the dense oracle, so the exact level
-        // transparently degrades to the Monte-Carlo oracle — and passes.
+        // transparently escalates to the MPS overlap oracle — and passes.
         let v = exact.verification.as_ref().unwrap();
-        assert_eq!(v.method(), "sampled");
+        assert_eq!(v.method(), "mps");
         assert!(!v.failed(), "{v}");
         assert!(out.runs[0].verification.is_none());
         let summary = out.runs[1].verification.as_ref().unwrap();
         assert!(summary.all_passed());
-        assert_eq!(summary.sampled, 1);
+        assert_eq!(summary.mps, 1);
         let text = out.render();
         assert!(text.contains("exact verification"), "{text}");
-        assert!(text.contains("verify: 0 exact, 1 sampled"), "{text}");
-        assert!(text.contains("sampled ok"), "{text}");
+        assert!(text.contains("verify: 0 exact, 1 mps, 0 sampled"), "{text}");
+        assert!(text.contains("mps ok"), "{text}");
     }
 
     #[test]

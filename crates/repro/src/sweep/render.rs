@@ -231,8 +231,9 @@ impl SweepOutcome {
             if let Some(v) = &run.verification {
                 let _ = writeln!(
                     out,
-                    "{{\"type\":\"verification\",{head},\"exact\":{},\"sampled\":{},\"skipped\":{},\"errors\":{},\"failed\":{},\"min_fidelity\":{}}}",
+                    "{{\"type\":\"verification\",{head},\"exact\":{},\"mps\":{},\"sampled\":{},\"skipped\":{},\"errors\":{},\"failed\":{},\"min_fidelity\":{}}}",
                     v.exact,
+                    v.mps,
                     v.sampled,
                     v.skipped,
                     v.errors,

@@ -257,6 +257,7 @@ fn merge_groups(into: &mut Vec<GroupAcc>, from: &[GroupAcc]) {
 struct VerifyAcc {
     any: bool,
     exact: usize,
+    mps: usize,
     sampled: usize,
     skipped: usize,
     errors: usize,
@@ -269,6 +270,7 @@ impl Default for VerifyAcc {
         VerifyAcc {
             any: false,
             exact: 0,
+            mps: 0,
             sampled: 0,
             skipped: 0,
             errors: 0,
@@ -306,6 +308,7 @@ impl RunRollup {
             acc.any = true;
             match v {
                 Verification::Exact { .. } => acc.exact += 1,
+                Verification::Mps { .. } => acc.mps += 1,
                 Verification::Sampled { .. } => acc.sampled += 1,
                 Verification::Skipped { .. } => acc.skipped += 1,
                 Verification::Error { .. } => acc.errors += 1,
@@ -326,6 +329,7 @@ impl RunRollup {
         let (a, b) = (&mut self.verification, &other.verification);
         a.any |= b.any;
         a.exact += b.exact;
+        a.mps += b.mps;
         a.sampled += b.sampled;
         a.skipped += b.skipped;
         a.errors += b.errors;
@@ -375,6 +379,7 @@ impl RunRollup {
         let acc = &self.verification;
         Some(VerificationSummary {
             exact: acc.exact,
+            mps: acc.mps,
             sampled: acc.sampled,
             skipped: acc.skipped,
             errors: acc.errors,

@@ -121,3 +121,34 @@ fn verified_sweep_is_bit_identical_across_thread_counts() {
     assert_eq!(summaries.len(), 1);
     assert!(summaries[0].all_passed());
 }
+
+#[test]
+fn mps_verified_sweep_is_bit_identical_across_thread_counts() {
+    // The MPS oracle runs orders of magnitude more SVD splits than any
+    // other verdict path — if a single one of them depended on worker
+    // scheduling, the rendered fidelities would drift. They must not.
+    let mut spec = SweepSpec::smoke();
+    spec.verify = vec![VerifyLevel::Off, VerifyLevel::Mps];
+    let one = at_threads(&spec, 1);
+    let four = at_threads(&spec, 4);
+    assert_eq!(
+        one.render(),
+        four.render(),
+        "mps-verified sweep report differs between 1 and 4 threads"
+    );
+    let (off, mps): (Vec<_>, Vec<_>) = one.cells.iter().partition(|c| c.verify == "off");
+    assert_eq!(off.len(), mps.len());
+    assert!(off.iter().all(|c| c.verification.is_none()));
+    assert!(mps.iter().all(|c| {
+        c.verification
+            .as_ref()
+            .is_some_and(|v| !v.failed() && v.method() == "mps")
+    }));
+    let summary = one
+        .runs
+        .iter()
+        .find_map(|r| r.verification.as_ref())
+        .expect("mps run has a verification summary");
+    assert!(summary.all_passed());
+    assert_eq!(summary.mps, mps.len());
+}

@@ -17,12 +17,12 @@ fn temp_dir(name: &str) -> PathBuf {
     dir
 }
 
-/// A small but multi-axis spec: three topologies × two benchmarks ×
-/// two verification levels — 6 cells per run, 12 total, with verdicts
-/// and calibration rollups in play.
+/// A small but multi-axis spec: the smoke cross-product with three
+/// verification levels — off, Monte-Carlo, and the MPS overlap oracle —
+/// so shard merges and journal resumes cover every verdict shape.
 fn spec() -> SweepSpec {
     let mut spec = SweepSpec::smoke();
-    spec.verify = vec![VerifyLevel::Off, VerifyLevel::Sampled];
+    spec.verify = vec![VerifyLevel::Off, VerifyLevel::Sampled, VerifyLevel::Mps];
     spec
 }
 

@@ -33,10 +33,12 @@
 
 pub mod density;
 pub mod kernels;
+pub mod mps;
 mod state;
 
 pub use density::{Density, MAX_DENSITY_QUBITS};
 pub use kernels::{lanes_available, KernelPath};
+pub use mps::{MpsOptions, MpsState};
 pub use state::{circuit_unitary, heavy_output_probability, State, MAX_STATE_QUBITS};
 
 /// Errors produced by the simulator.
@@ -70,6 +72,14 @@ pub enum SimError {
     },
     /// A channel probability fell outside `[0, 1]`.
     InvalidProbability(f64),
+    /// An MPS truncation pushed the cumulative discarded weight past the
+    /// configured budget ([`MpsOptions::trunc_tol`](mps::MpsOptions)).
+    TruncationBudgetExceeded {
+        /// Cumulative discarded weight `Σ ε_i` at the failing update.
+        discarded: f64,
+        /// The configured budget it exceeded.
+        budget: f64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -96,6 +106,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidProbability(p) => {
                 write!(f, "probability {p} outside [0, 1]")
+            }
+            SimError::TruncationBudgetExceeded { discarded, budget } => {
+                write!(
+                    f,
+                    "MPS truncation budget exceeded: discarded weight {discarded:.3e} > {budget:.3e}"
+                )
             }
         }
     }

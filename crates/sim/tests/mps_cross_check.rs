@@ -1,0 +1,175 @@
+//! Cross-check of the MPS simulator against the dense statevector: with
+//! an unbounded bond the tensor network is an *exact* representation, so
+//! [`MpsState::run`] must reproduce [`State::run`] amplitude-for-amplitude
+//! (≤1e-10) with exactly zero discarded weight — on every benchmark suite
+//! builder at dense-tractable widths and on random circuits over the full
+//! gate alphabet. A second property pins the truncation law: with a small
+//! bond cap the reported fidelity lower bound is never optimistic, and
+//! the truncation budget fires deterministically.
+
+use paradrive_circuit::{Circuit, OneQ, TwoQ};
+use paradrive_sim::{MpsOptions, MpsState, SimError, State};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random circuit drawing from the full 1Q/2Q gate alphabet,
+/// operand order included (MPS gate orientation is the subtle path).
+fn random_circuit(n: usize, ops: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..ops {
+        let two_q = n >= 2 && rng.gen_bool(0.5);
+        if two_q {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            let theta = rng.gen_range(-3.0..3.0);
+            let gate = match rng.gen_range(0..7u32) {
+                0 => TwoQ::Cx,
+                1 => TwoQ::Cz,
+                2 => TwoQ::CPhase(theta),
+                3 => TwoQ::Rzz(theta),
+                4 => TwoQ::ISwap,
+                5 => TwoQ::Swap,
+                _ => TwoQ::SqrtISwap,
+            };
+            c.push_2q(gate, a, b);
+        } else {
+            let q = rng.gen_range(0..n);
+            let theta = rng.gen_range(-3.0..3.0);
+            let gate = match rng.gen_range(0..7u32) {
+                0 => OneQ::H,
+                1 => OneQ::X,
+                2 => OneQ::S,
+                3 => OneQ::T,
+                4 => OneQ::Rx(theta),
+                5 => OneQ::Ry(theta),
+                _ => OneQ::Rz(theta),
+            };
+            c.push_1q(gate, q);
+        }
+    }
+    c
+}
+
+fn assert_amplitudes_match(c: &Circuit, context: &str) {
+    let dense = State::run(c).unwrap();
+    let mps = MpsState::run(c, MpsOptions::exact()).unwrap();
+    assert_eq!(
+        mps.discarded_weight(),
+        0.0,
+        "{context}: unbounded bond must discard nothing"
+    );
+    let got = mps.amplitudes().unwrap();
+    for (i, (m, d)) in got.iter().zip(dense.amplitudes()).enumerate() {
+        assert!(
+            (*m - *d).norm() <= 1e-10,
+            "{context}: amplitude {i} differs: mps {m:?} vs dense {d:?}"
+        );
+    }
+}
+
+#[test]
+fn mps_and_statevector_agree_on_every_suite_builder() {
+    use paradrive_circuit::benchmarks;
+    let seed = 7;
+    let circuits = vec![
+        ("QV", benchmarks::quantum_volume(8, 6, seed)),
+        ("VQE_L", benchmarks::vqe_linear(10, 1, seed)),
+        ("GHZ", benchmarks::ghz(10)),
+        ("HLF", benchmarks::hidden_linear_function(9, seed)),
+        ("QFT", benchmarks::qft(9)),
+        ("Adder", benchmarks::adder(4)),
+        ("QAOA", benchmarks::qaoa(10, 2, seed)),
+        ("VQE_F", benchmarks::vqe_full(8, 2, seed)),
+        ("Multiplier", benchmarks::multiplier(2)),
+        ("QAOA_LR", benchmarks::long_range_qaoa(10, 1, seed)),
+    ];
+    for (name, c) in circuits {
+        assert!(c.n_qubits() <= 10, "{name} too wide for the dense oracle");
+        assert_amplitudes_match(&c, name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Unbounded-bond MPS equals the dense statevector on random circuits
+    /// at widths 2–10, with exactly zero discarded weight.
+    #[test]
+    fn mps_matches_dense_on_random_circuits(
+        n in 2usize..=10,
+        seed in 0u64..10_000,
+    ) {
+        let c = random_circuit(n, 32.min(5 * n), seed);
+        assert_amplitudes_match(&c, &format!("n={n} seed={seed}"));
+    }
+
+    /// Truncation law: with a tight bond cap (and an infinite budget so
+    /// the run completes), the reported fidelity lower bound `1 − ε` never
+    /// exceeds the true fidelity against the exact state.
+    #[test]
+    fn fidelity_lower_bound_is_never_optimistic(
+        n in 4usize..=8,
+        seed in 0u64..10_000,
+        max_bond in 2usize..=4,
+    ) {
+        let c = random_circuit(n, 6 * n, seed);
+        let exact = MpsState::run(&c, MpsOptions::exact()).unwrap();
+        let truncated = MpsState::run(&c, MpsOptions::exact().max_bond(max_bond)).unwrap();
+        let f = truncated.fidelity(&exact);
+        let bound = truncated.fidelity_lower_bound();
+        prop_assert!(
+            f + 1e-9 >= bound,
+            "n={n} seed={seed} χ={max_bond}: fidelity {f} below reported bound {bound}"
+        );
+    }
+}
+
+/// The truncation budget is a deterministic threshold, not a heuristic:
+/// the same circuit at the same options either always completes or always
+/// fails, with a bit-identical error payload — and the documented
+/// condition (`discarded > trunc_tol`) separates a passing budget from a
+/// failing one on the exact same run.
+#[test]
+fn truncation_budget_fires_at_the_documented_threshold() {
+    use paradrive_circuit::benchmarks;
+    let c = benchmarks::quantum_volume(8, 8, 3);
+    // Measure the discarded weight with an unlimited budget.
+    let probe = MpsState::run(&c, MpsOptions::exact().max_bond(2)).unwrap();
+    let discarded = probe.discarded_weight();
+    assert!(discarded > 0.0, "probe must truncate");
+
+    // A budget above the measured weight completes; one below fails.
+    let above = MpsOptions::default()
+        .max_bond(2)
+        .trunc_tol(discarded * 1.001);
+    assert!(MpsState::run(&c, above).is_ok());
+    let below = MpsOptions::default().max_bond(2).trunc_tol(discarded * 0.5);
+    let e1 = MpsState::run(&c, below).unwrap_err();
+    let e2 = MpsState::run(&c, below).unwrap_err();
+    match (&e1, &e2) {
+        (
+            SimError::TruncationBudgetExceeded {
+                discarded: d1,
+                budget: b1,
+            },
+            SimError::TruncationBudgetExceeded {
+                discarded: d2,
+                budget: b2,
+            },
+        ) => {
+            assert_eq!(
+                d1.to_bits(),
+                d2.to_bits(),
+                "non-deterministic failure point"
+            );
+            assert_eq!(b1.to_bits(), b2.to_bits());
+            assert!(*d1 > *b1, "error payload violates the documented condition");
+        }
+        other => panic!("expected TruncationBudgetExceeded twice, got {other:?}"),
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! Every pass in the pipeline — routing, consolidation, calibrated
 //! scheduling — claims to preserve circuit semantics up to the final qubit
-//! permutation the router reports. This crate *checks* those claims at two
-//! rigor levels, scaled to the circuit width:
+//! permutation the router reports. This crate *checks* those claims at
+//! three rigor levels, scaled to the circuit width:
 //!
 //! - **Exact** ([`VerifyLevel::Exact`]): full unitary equivalence up to the
 //!   output permutation, built column by column with
@@ -12,12 +12,29 @@
 //!   wires plus every physical qubit a SWAP ever touches — so a small
 //!   circuit routed on a big device stays tractable. Practical up to
 //!   [`VerifyConfig::max_exact_qubits`] support qubits; beyond that the
-//!   exact level transparently falls back to the sampled oracle.
+//!   exact level transparently escalates down the ladder.
+//! - **Mps** ([`VerifyLevel::Mps`]): a matrix-product-state oracle for
+//!   wide circuits ([`paradrive_sim::MpsState`]). Both the original and
+//!   the transpiled program evolve as MPS with bond dimension capped at
+//!   [`VerifyConfig::max_bond`]; the verdict is the squared overlap under
+//!   the router's permutation, judged against [`VerifyConfig::mps_tol`]
+//!   *plus a certified truncation bound* derived from the cumulative
+//!   discarded Schmidt weight, so bond truncation can never convert a
+//!   correct transpilation into a spurious failure. Statevector width
+//!   limits do not apply — this is the only oracle that truly checks
+//!   50–100-qubit routes.
 //! - **Sampled** ([`VerifyLevel::Sampled`]): a seeded Monte-Carlo oracle
 //!   for wide circuits. `K` random product states (Haar-ish `U3` per
 //!   logical qubit) run through the original and the transpiled circuit;
 //!   output amplitudes are compared under the router's permutation with
 //!   ancilla wires required back in `|0⟩`.
+//!
+//! The escalation ladder: `Exact` uses the dense oracle up to
+//! [`VerifyConfig::max_exact_qubits`] support qubits, the MPS oracle
+//! beyond that, and the sampled oracle only when the MPS run aborts with
+//! `TruncationBudgetExceeded` (entanglement past [`MPS_DISCARD_CAP`],
+//! where the certified bound would be too weak to mean anything); `Mps`
+//! starts at the MPS rung of the same ladder.
 //!
 //! The physical side can be a routed [`Circuit`] or its consolidated
 //! [`Item`](paradrive_transpiler::consolidate::Item) stream — in the latter
@@ -27,7 +44,7 @@
 //!
 //! # Tolerance policy
 //!
-//! Both oracles compare *fidelities*, not raw amplitudes, so the checks
+//! All oracles compare *fidelities*, not raw amplitudes, so the checks
 //! are insensitive to global phase. The exact oracle computes the process
 //! fidelity `|tr(W† P U)|² / d²` and requires an infidelity below
 //! [`TolerancePolicy::exact_infidelity`] (default `1e-9` — pure
@@ -35,8 +52,13 @@
 //! sampled oracle requires every sample's state fidelity within
 //! [`TolerancePolicy::sampled_infidelity`] of 1 (default `1e-7`, looser
 //! because a single statevector run concentrates rounding error in fewer
-//! terms than the full-unitary trace averages over). Both verdicts are
-//! pure functions of their inputs — bit-identical across thread counts.
+//! terms than the full-unitary trace averages over). The MPS oracle
+//! requires the overlap infidelity below [`VerifyConfig::mps_tol`]
+//! (default `1e-6` — the swap-transport networks of a wide route run
+//! orders of magnitude more SVD splits than the dense paths run gates)
+//! *plus* the run's certified truncation bound, so only error beyond
+//! what truncation can explain fails the check. All verdicts are pure
+//! functions of their inputs — bit-identical across thread counts.
 //!
 //! # Example
 //!
@@ -79,8 +101,13 @@ pub enum VerifyLevel {
     Off,
     /// The seeded Monte-Carlo oracle on every circuit.
     Sampled,
+    /// The matrix-product-state overlap oracle at any width
+    /// ([`VerifyConfig::max_bond`]), Monte-Carlo only if the MPS run
+    /// exhausts its truncation budget.
+    Mps,
     /// Exact unitary equivalence where the support fits
-    /// ([`VerifyConfig::max_exact_qubits`]), Monte-Carlo beyond it.
+    /// ([`VerifyConfig::max_exact_qubits`]), escalating to the MPS and
+    /// then the Monte-Carlo oracle beyond it.
     Exact,
 }
 
@@ -90,6 +117,7 @@ impl VerifyLevel {
         match self {
             VerifyLevel::Off => "off",
             VerifyLevel::Sampled => "sampled",
+            VerifyLevel::Mps => "mps",
             VerifyLevel::Exact => "exact",
         }
     }
@@ -108,9 +136,10 @@ impl std::str::FromStr for VerifyLevel {
         match s.to_ascii_lowercase().as_str() {
             "off" => Ok(VerifyLevel::Off),
             "sampled" => Ok(VerifyLevel::Sampled),
+            "mps" => Ok(VerifyLevel::Mps),
             "exact" => Ok(VerifyLevel::Exact),
             other => Err(format!(
-                "unknown verify level `{other}` (expected off, sampled, or exact)"
+                "unknown verify level `{other}` (expected off, sampled, mps, or exact)"
             )),
         }
     }
@@ -148,9 +177,16 @@ pub struct VerifyConfig {
     pub seed: u64,
     /// Pass/fail thresholds.
     pub tolerance: TolerancePolicy,
-    /// Largest qubit *support* the exact oracle handles before falling
-    /// back to sampling (the dense unitary is `4^support` entries).
+    /// Largest qubit *support* the exact oracle handles before escalating
+    /// to the MPS oracle (the dense unitary is `4^support` entries).
     pub max_exact_qubits: usize,
+    /// Bond-dimension cap for the MPS oracle; every Schmidt cut past it
+    /// is truncated and its discarded weight charged to the certified
+    /// bound.
+    pub max_bond: usize,
+    /// Maximum overlap infidelity — *beyond* the certified truncation
+    /// bound — the MPS oracle accepts.
+    pub mps_tol: f64,
 }
 
 impl Default for VerifyConfig {
@@ -161,6 +197,8 @@ impl Default for VerifyConfig {
             seed: 2023,
             tolerance: TolerancePolicy::default(),
             max_exact_qubits: 10,
+            max_bond: 64,
+            mps_tol: 1e-6,
         }
     }
 }
@@ -186,7 +224,29 @@ impl VerifyConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the MPS oracle's bond-dimension cap.
+    #[must_use]
+    pub fn max_bond(mut self, max_bond: usize) -> Self {
+        self.max_bond = max_bond;
+        self
+    }
+
+    /// Sets the MPS oracle's overlap-infidelity tolerance.
+    #[must_use]
+    pub fn mps_tol(mut self, mps_tol: f64) -> Self {
+        self.mps_tol = mps_tol;
+        self
+    }
 }
+
+/// The most cumulative Schmidt weight either MPS run may discard before
+/// the oracle gives up and escalates to sampling. Past this point the
+/// certified bound is so wide the verdict would accept almost anything —
+/// escalation is the honest answer. The cap is also what makes
+/// [`SimError::TruncationBudgetExceeded`] fire at a *documented*
+/// threshold rather than an incidental one.
+pub const MPS_DISCARD_CAP: f64 = 0.05;
 
 /// The outcome of one equivalence check.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +260,23 @@ pub enum Verification {
         /// Compact support width actually simulated.
         width: usize,
         /// Whether the infidelity stayed within policy.
+        passed: bool,
+    },
+    /// Matrix-product-state overlap equivalence with a certified
+    /// truncation bound.
+    Mps {
+        /// Squared MPS overlap `|⟨ψ_logical|P·ψ_physical⟩|²`.
+        fidelity: f64,
+        /// Certified bound on how far truncation alone can have pushed
+        /// the measured fidelity from the true one (`0` when neither run
+        /// ever truncated); the verdict's *certified fidelity* is
+        /// `fidelity − trunc_bound`.
+        trunc_bound: f64,
+        /// Largest bond dimension either run reached.
+        max_bond_used: usize,
+        /// Compact support width simulated.
+        width: usize,
+        /// Whether the infidelity stayed within policy plus the bound.
         passed: bool,
     },
     /// Seeded Monte-Carlo equivalence on random product inputs.
@@ -237,16 +314,18 @@ impl Verification {
         matches!(
             self,
             Verification::Exact { passed: false, .. }
+                | Verification::Mps { passed: false, .. }
                 | Verification::Sampled { passed: false, .. }
                 | Verification::Error { .. }
         )
     }
 
-    /// The oracle that produced this verdict: `exact`, `sampled`, `skip`,
-    /// `error`.
+    /// The oracle that produced this verdict: `exact`, `mps`, `sampled`,
+    /// `skip`, `error`.
     pub fn method(&self) -> &'static str {
         match self {
             Verification::Exact { .. } => "exact",
+            Verification::Mps { .. } => "mps",
             Verification::Sampled { .. } => "sampled",
             Verification::Skipped { .. } => "skip",
             Verification::Error { .. } => "error",
@@ -254,9 +333,14 @@ impl Verification {
     }
 
     /// The fidelity the oracle measured (`None` when skipped or errored).
+    /// For the MPS oracle this is the raw overlap, not the certified
+    /// lower bound — subtract
+    /// [`trunc_bound`](Verification::Mps::trunc_bound) for the
+    /// certificate.
     pub fn fidelity(&self) -> Option<f64> {
         match self {
             Verification::Exact { fidelity, .. } => Some(*fidelity),
+            Verification::Mps { fidelity, .. } => Some(*fidelity),
             Verification::Sampled { min_fidelity, .. } => Some(*min_fidelity),
             Verification::Skipped { .. } | Verification::Error { .. } => None,
         }
@@ -274,6 +358,17 @@ impl fmt::Display for Verification {
             } => write!(
                 f,
                 "exact {} F={fidelity:.9} ({columns} columns, {width}q)",
+                if *passed { "ok" } else { "FAIL" }
+            ),
+            Verification::Mps {
+                fidelity,
+                trunc_bound,
+                max_bond_used,
+                width,
+                passed,
+            } => write!(
+                f,
+                "mps {} F={fidelity:.9} (trunc bound {trunc_bound:.3e}, bond {max_bond_used}, {width}q)",
                 if *passed { "ok" } else { "FAIL" }
             ),
             Verification::Sampled {
@@ -342,11 +437,13 @@ impl From<SimError> for VerifyError {
 /// out under `layout` (the router's final logical→physical map), is
 /// equivalent to `original`.
 ///
-/// The oracle is chosen by [`VerifyConfig::level`]; `Exact` degrades to
-/// the Monte-Carlo oracle when the circuit's qubit support exceeds
-/// [`VerifyConfig::max_exact_qubits`], and either level reports
-/// [`Verification::Skipped`] when even the statevector simulator cannot
-/// hold the circuit.
+/// The oracle is chosen by [`VerifyConfig::level`] and the escalation
+/// ladder: `Exact` degrades to the MPS oracle when the circuit's qubit
+/// support exceeds [`VerifyConfig::max_exact_qubits`], `Mps` (and an
+/// escalated `Exact`) degrades to the Monte-Carlo oracle when the MPS
+/// run exhausts its truncation budget ([`MPS_DISCARD_CAP`]), and the
+/// Monte-Carlo rung reports [`Verification::Skipped`] when even the
+/// statevector simulator cannot hold the circuit.
 ///
 /// # Errors
 ///
@@ -383,14 +480,28 @@ pub fn verify(
             })
         }
     };
+    // The MPS rung of the ladder: run the overlap oracle; if the state
+    // is too entangled for the bond cap (truncation budget exhausted at
+    // MPS_DISCARD_CAP), escalate to the Monte-Carlo oracle rather than
+    // report a vacuously wide certificate.
+    let mps_or_escalate = |prog: &physical::CompactProgram| match oracle::mps(
+        original,
+        prog,
+        config.max_bond,
+        config.mps_tol,
+    ) {
+        Err(VerifyError::Sim(SimError::TruncationBudgetExceeded { .. })) => sampled_or_skip(prog),
+        other => other,
+    };
     match config.level {
         VerifyLevel::Off => unreachable!("handled above"),
         VerifyLevel::Sampled => sampled_or_skip(&prog),
+        VerifyLevel::Mps => mps_or_escalate(&prog),
         VerifyLevel::Exact => {
             if prog.width <= config.max_exact_qubits {
                 oracle::exact(original, &prog, config.tolerance.exact_infidelity)
             } else {
-                sampled_or_skip(&prog)
+                mps_or_escalate(&prog)
             }
         }
     }

@@ -1,10 +1,10 @@
-//! The two equivalence oracles, operating on a compacted physical program.
+//! The equivalence oracles, operating on a compacted physical program.
 
 use crate::physical::CompactProgram;
-use crate::{Verification, VerifyError};
-use paradrive_circuit::Circuit;
+use crate::{Verification, VerifyError, MPS_DISCARD_CAP};
+use paradrive_circuit::{Circuit, Op};
 use paradrive_linalg::{paulis, C64};
-use paradrive_sim::{circuit_unitary, State};
+use paradrive_sim::{circuit_unitary, MpsOptions, MpsState, State};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::{PI, TAU};
@@ -52,6 +52,71 @@ pub(crate) fn exact(
         columns: d,
         width: s,
         passed: 1.0 - fidelity <= max_infidelity,
+    })
+}
+
+/// The matrix-product-state overlap oracle for wide circuits.
+///
+/// Both sides evolve from `|0…0⟩` as MPS over the full compact support:
+/// the logical side applies the original circuit's gates on wires
+/// `0..n_logical` (ancilla sites stay `|0⟩` at bond 1 for free), the
+/// physical side replays the compacted program and then the router's
+/// permutation as a tracked swap network. The verdict is the squared
+/// overlap `|⟨ψ_logical|P·ψ_physical⟩|²` — contracted through transfer
+/// matrices, never through a dense statevector, so width is unbounded.
+///
+/// Scope: this is *state* equivalence on the all-zeros input — the state
+/// the engine actually prepares — not full process equivalence. Defects
+/// that act trivially on `|0…0⟩`'s orbit (e.g. an X planted into a
+/// circuit whose output is the uniform superposition) are invisible
+/// here but caught by the exact oracle's column sweep.
+///
+/// Truncation honesty: each side may discard at most [`MPS_DISCARD_CAP`]
+/// cumulative Schmidt weight (beyond that the run aborts with
+/// `TruncationBudgetExceeded` and the ladder escalates). The accumulated
+/// 2-norm truncation errors of both sides (`Σ √(2 ε_i)` per side, see
+/// [`MpsState::truncation_norm_error`]) combine into a certified bound on
+/// how far the measured overlap can sit from the exact one — the overlap
+/// shifts by at most `δ = D_L + D_P`, and the squared overlap by at most
+/// `2δ + δ²`. A correct transpilation therefore *always* measures
+/// `F ≥ 1 − trunc_bound`, and the pass criterion charges the bound to
+/// the tolerance: `1 − F ≤ mps_tol + trunc_bound`. When neither side
+/// truncates (ε = 0 exactly) the bound is exactly 0 and the check is as
+/// sharp as the dense oracles.
+pub(crate) fn mps(
+    original: &Circuit,
+    prog: &CompactProgram,
+    max_bond: usize,
+    mps_tol: f64,
+) -> Result<Verification, VerifyError> {
+    let opts = MpsOptions {
+        max_bond,
+        trunc_tol: MPS_DISCARD_CAP,
+    };
+    // Logical side: the original circuit on wires 0..n_logical of a
+    // support-width chain (gate by gate — the widths differ, so
+    // apply_circuit's width check would reject the circuit itself).
+    let mut logical = MpsState::zero(prog.width, opts);
+    for op in original.ops() {
+        match op {
+            Op::OneQ { gate, q } => logical.apply_1q(&gate.unitary(), *q)?,
+            Op::TwoQ { gate, a, b } => logical.apply_2q(&gate.unitary(), *a, *b)?,
+        }
+    }
+    // Physical side: the compacted program, then the output permutation.
+    let mut physical = MpsState::zero(prog.width, opts);
+    prog.apply_to_mps(&mut physical)?;
+    physical.permute(&prog.perm)?;
+
+    let fidelity = logical.fidelity(&physical);
+    let delta = logical.truncation_norm_error() + physical.truncation_norm_error();
+    let trunc_bound = 2.0 * delta + delta * delta;
+    Ok(Verification::Mps {
+        fidelity,
+        trunc_bound,
+        max_bond_used: logical.max_bond_used().max(physical.max_bond_used()),
+        width: prog.width,
+        passed: 1.0 - fidelity <= mps_tol + trunc_bound,
     })
 }
 
@@ -171,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn exact_level_falls_back_to_sampling_beyond_the_support_limit() {
+    fn exact_level_escalates_to_mps_beyond_the_support_limit() {
         let c = benchmarks::qft(12);
         let map = CouplingMap::grid(4, 4);
         let routed = route(&c, &map, 0).unwrap();
@@ -180,6 +245,104 @@ mod tests {
             &Physical::Circuit(&routed.circuit),
             &routed.layout,
             &exact_cfg(),
+        )
+        .unwrap();
+        assert_eq!(v.method(), "mps", "{v}");
+        assert!(!v.failed(), "{v}");
+    }
+
+    #[test]
+    fn mps_level_verifies_routed_circuits_with_zero_truncation() {
+        let c = benchmarks::qft(8);
+        let map = CouplingMap::grid(3, 3);
+        let routed = route(&c, &map, 1).unwrap();
+        let items = consolidate(&routed.circuit).unwrap();
+        for physical in [
+            Physical::Circuit(&routed.circuit),
+            Physical::Consolidated {
+                items: &items,
+                n_qubits: map.n_qubits(),
+            },
+        ] {
+            let v = verify(
+                &c,
+                &physical,
+                &routed.layout,
+                &VerifyConfig::default().level(VerifyLevel::Mps),
+            )
+            .unwrap();
+            assert_eq!(v.method(), "mps", "{v}");
+            assert!(!v.failed(), "{v}");
+            match v {
+                Verification::Mps {
+                    fidelity,
+                    trunc_bound,
+                    ..
+                } => {
+                    assert!(fidelity > 1.0 - 1e-9, "F = {fidelity}");
+                    assert_eq!(trunc_bound, 0.0, "untruncated run must certify 0");
+                }
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mps_oracle_agrees_with_exact_on_every_small_route() {
+        for (c, map) in [
+            (benchmarks::ghz(5), CouplingMap::ring(6)),
+            (benchmarks::qaoa(6, 2, 7), CouplingMap::grid(2, 4)),
+            (benchmarks::vqe_linear(6, 1, 3), CouplingMap::line(6)),
+        ] {
+            let routed = route(&c, &map, 0).unwrap();
+            let phys = Physical::Circuit(&routed.circuit);
+            let e = verify(&c, &phys, &routed.layout, &exact_cfg()).unwrap();
+            let m = verify(
+                &c,
+                &phys,
+                &routed.layout,
+                &VerifyConfig::default().level(VerifyLevel::Mps),
+            )
+            .unwrap();
+            assert!(!e.failed() && !m.failed(), "{e} vs {m}");
+            // Same equivalence, measured two ways: both fidelities ≈ 1.
+            assert!((e.fidelity().unwrap() - m.fidelity().unwrap()).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn mps_oracle_catches_corruption_and_wrong_layouts() {
+        // A QAOA state has generic amplitudes, so both a planted X and a
+        // wrong output permutation visibly move it. (QFT would be a bad
+        // choice here: QFT|0…0⟩ is the uniform product state, invariant
+        // under X and wire swaps — invisible to any |0⟩-input oracle.)
+        let c = benchmarks::qaoa(6, 2, 7);
+        let map = CouplingMap::grid(2, 3);
+        let routed = route(&c, &map, 0).unwrap();
+        let cfg = VerifyConfig::default().level(VerifyLevel::Mps);
+        let mut bad = routed.circuit.clone();
+        bad.push_1q(OneQ::X, 2);
+        let v = verify(&c, &Physical::Circuit(&bad), &routed.layout, &cfg).unwrap();
+        assert_eq!(v.method(), "mps");
+        assert!(v.failed(), "planted bug not caught ({v})");
+        let mut wrong = routed.layout.clone();
+        wrong.swap(0, 5);
+        let v = verify(&c, &Physical::Circuit(&routed.circuit), &wrong, &cfg).unwrap();
+        assert!(v.failed(), "wrong layout not caught ({v})");
+    }
+
+    #[test]
+    fn mps_level_escalates_to_sampling_when_the_bond_cap_is_too_tight() {
+        // A volume-law circuit at bond 2 blows the discard cap; the
+        // ladder must land on the Monte-Carlo oracle, which still passes.
+        let c = benchmarks::quantum_volume(10, 10, 5);
+        let map = CouplingMap::grid(4, 3);
+        let routed = route(&c, &map, 0).unwrap();
+        let v = verify(
+            &c,
+            &Physical::Circuit(&routed.circuit),
+            &routed.layout,
+            &VerifyConfig::default().level(VerifyLevel::Mps).max_bond(2),
         )
         .unwrap();
         assert_eq!(v.method(), "sampled", "{v}");
@@ -213,7 +376,7 @@ mod tests {
         // Plant a bug: an extra X deep in the "transpiled" output.
         let mut bad = routed.circuit.clone();
         bad.push_1q(OneQ::X, 2);
-        for level in [VerifyLevel::Exact, VerifyLevel::Sampled] {
+        for level in [VerifyLevel::Exact, VerifyLevel::Mps, VerifyLevel::Sampled] {
             let v = verify(
                 &c,
                 &Physical::Circuit(&bad),

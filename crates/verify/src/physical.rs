@@ -4,7 +4,7 @@
 use crate::VerifyError;
 use paradrive_circuit::{Circuit, Op};
 use paradrive_linalg::CMat;
-use paradrive_sim::{SimError, State};
+use paradrive_sim::{MpsState, SimError, State};
 use paradrive_transpiler::consolidate::Item;
 
 /// The transpiled program being checked against the original circuit.
@@ -120,6 +120,19 @@ pub(crate) struct CompactProgram {
 impl CompactProgram {
     /// Applies the program to a compact-width register.
     pub fn apply_to(&self, state: &mut State) -> Result<(), SimError> {
+        for app in &self.apps {
+            match app {
+                GateApp::One { g, q } => state.apply_1q(g, *q)?,
+                GateApp::Two { g, a, b } => state.apply_2q(g, *a, *b)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the program to a compact-width MPS register (the wide
+    /// oracle's path; truncation failures propagate for the escalation
+    /// ladder to handle).
+    pub fn apply_to_mps(&self, state: &mut MpsState) -> Result<(), SimError> {
         for app in &self.apps {
             match app {
                 GateApp::One { g, q } => state.apply_1q(g, *q)?,
