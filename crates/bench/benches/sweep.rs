@@ -81,6 +81,8 @@ fn bench_rollup_fold(c: &mut Criterion) {
             verify: "off",
             verification: None,
             suite_seed: 7,
+            epoch: 0,
+            decision: "-",
             swaps: (i % 9) as usize,
             depth: 20,
             blocks: 12,

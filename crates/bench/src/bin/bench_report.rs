@@ -35,7 +35,15 @@ use std::process::{Command, ExitCode};
 use std::time::Instant;
 
 /// The tracked suites, in run order.
-const SUITES: [&str; 6] = ["kernels", "engine", "verify", "mps", "topologies", "sweep"];
+const SUITES: [&str; 7] = [
+    "kernels",
+    "engine",
+    "verify",
+    "mps",
+    "topologies",
+    "sweep",
+    "fleet",
+];
 
 /// Allowed relative regression of a calibration-normalized median before
 /// `--check` fails (0.2 = 20%).

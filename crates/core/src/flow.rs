@@ -145,10 +145,11 @@ pub fn evaluate_with_calibration(
             // Both models route/consolidate identically, so they share one
             // gate-error survival product.
             let survival = cal.gate_error_product(items);
-            (
-                cal.total_fidelity(base.duration, circuit_qubits) * survival,
-                cal.total_fidelity(opt.duration, circuit_qubits) * survival,
-            )
+            let ft = |d: f64| {
+                cal.total_fidelity(d, circuit_qubits)
+                    .expect("job admission validates the circuit fits its calibrated device")
+            };
+            (ft(base.duration) * survival, ft(opt.duration) * survival)
         }
         None => (
             fidelity.total_fidelity(base.duration, circuit_qubits),

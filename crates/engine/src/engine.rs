@@ -118,15 +118,37 @@ pub fn run_batch_streaming(
     config: &EngineConfig,
     sink: &JobSink<'_>,
 ) -> Result<BatchSummary, EngineError> {
+    let owned = config
+        .cache
+        .then(|| (DecompositionCache::new(), DecompositionCache::new()));
+    run_batch_streaming_with_caches(batch, config, sink, owned.as_ref().map(|(b, o)| (b, o)))
+}
+
+/// [`run_batch_streaming`] with caller-owned decomposition caches.
+///
+/// The `(baseline, optimized)` cache pair — when given — supersedes
+/// [`EngineConfig::cache`], and the caches outlive the call: a driver that
+/// replays many batches (the fleet policy loop re-transpiling across
+/// calibration epochs) shares one warm pair across all of them instead of
+/// rebuilding cold caches per batch. Cached and uncached runs produce
+/// bit-identical reports, so sharing only changes wall clock, never
+/// results; the returned [`BatchSummary`] carries the pair's *cumulative*
+/// stats.
+///
+/// # Errors
+///
+/// Exactly as [`run_batch_streaming`].
+pub fn run_batch_streaming_with_caches(
+    batch: &Batch,
+    config: &EngineConfig,
+    sink: &JobSink<'_>,
+    caches: Option<(&DecompositionCache, &DecompositionCache)>,
+) -> Result<BatchSummary, EngineError> {
     let started = Instant::now();
     let seeds = config.routing_seeds.max(1) as usize;
     let n_jobs = batch.len();
     let unit_count = n_jobs * seeds;
     let threads = config.workers_for(batch);
-
-    let caches = config
-        .cache
-        .then(|| (DecompositionCache::new(), DecompositionCache::new()));
 
     // Validate each job's calibration against its device once, and build
     // the noise-aware routing oracle (an all-pairs effective-distance
@@ -160,7 +182,7 @@ pub fn run_batch_streaming(
         seeds,
         baseline: BaselineSqrtIswap::new(config.d_1q),
         optimized: OptimizedModel::new(config),
-        caches: caches.as_ref(),
+        caches,
         next_unit: AtomicUsize::new(0),
         units_left: (0..n_jobs).map(|_| AtomicUsize::new(seeds)).collect(),
         routed: (0..unit_count).map(|_| Mutex::new(None)).collect(),
@@ -188,7 +210,7 @@ pub fn run_batch_streaming(
     }
 
     let mut trace = shared.rec.take();
-    if let Some((bcache, ocache)) = caches.as_ref() {
+    if let Some((bcache, ocache)) = caches {
         fold_shard_counters(&mut trace, "cache.baseline", bcache);
         fold_shard_counters(&mut trace, "cache.optimized", ocache);
     }
@@ -196,8 +218,8 @@ pub fn run_batch_streaming(
     Ok(BatchSummary {
         threads,
         wall_clock: started.elapsed(),
-        baseline_cache: caches.as_ref().map(|(b, _)| b.stats()),
-        optimized_cache: caches.as_ref().map(|(_, o)| o.stats()),
+        baseline_cache: caches.map(|(b, _)| b.stats()),
+        optimized_cache: caches.map(|(_, o)| o.stats()),
         trace,
     })
 }
@@ -226,14 +248,16 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The optimized-side cost model, chosen by [`Costing`].
-enum OptimizedModel {
+/// The optimized-side cost model, chosen by [`Costing`]. Shared with the
+/// fleet policy layer so kept-route re-scoring uses the exact model the
+/// engine's back half would.
+pub(crate) enum OptimizedModel {
     Hull(ParallelDriveRules),
     Synthesized(SynthesizedParallelDrive),
 }
 
 impl OptimizedModel {
-    fn new(config: &EngineConfig) -> Self {
+    pub(crate) fn new(config: &EngineConfig) -> Self {
         match config.costing {
             Costing::Hull => OptimizedModel::Hull(ParallelDriveRules::new(config.d_1q)),
             Costing::Synthesized => {
@@ -277,7 +301,7 @@ struct Shared<'a, 'sink> {
     seeds: usize,
     baseline: BaselineSqrtIswap,
     optimized: OptimizedModel,
-    caches: Option<&'a (DecompositionCache, DecompositionCache)>,
+    caches: Option<(&'a DecompositionCache, &'a DecompositionCache)>,
     /// Cursor over the flattened `(job, seed)` routing units.
     next_unit: AtomicUsize,
     /// Routing units still outstanding per job; the worker that drops a
@@ -680,7 +704,9 @@ mod tests {
         let mut batch = Batch::with_shared(Arc::clone(&grid));
         batch.push_calibrated("mismatch", benchmarks::ghz(4), grid, wrong);
         let err = run_batch(&batch, &EngineConfig::default().routing_seeds(1)).unwrap_err();
-        let EngineError::Job { job, source } = err;
+        let EngineError::Job { job, source } = err else {
+            panic!("expected a job error");
+        };
         assert_eq!(job, "mismatch");
         assert!(matches!(
             source,
@@ -698,7 +724,9 @@ mod tests {
         let mut batch = Batch::with_shared(Arc::clone(&grid16));
         batch.push_calibrated("sneaky", benchmarks::ghz(16), grid16, sneaky);
         let err = run_batch(&batch, &EngineConfig::default().routing_seeds(1)).unwrap_err();
-        let EngineError::Job { job, source } = err;
+        let EngineError::Job { job, source } = err else {
+            panic!("expected a job error");
+        };
         assert_eq!(job, "sneaky");
         assert!(matches!(source, TranspileError::InvalidCalibration(_)));
     }
@@ -795,7 +823,9 @@ mod tests {
             delivered.lock().unwrap().push((job, r.result.name.clone()));
         })
         .unwrap_err();
-        let EngineError::Job { job, .. } = err;
+        let EngineError::Job { job, .. } = err else {
+            panic!("expected a job error");
+        };
         assert_eq!(job, "too-wide");
         let delivered = delivered.into_inner().unwrap();
         assert_eq!(delivered, vec![(0, "ok".to_string())]);
@@ -816,6 +846,7 @@ mod tests {
         let err = run_batch(&batch, &EngineConfig::default().threads(2)).unwrap_err();
         match err {
             EngineError::Job { job, .. } => assert_eq!(job, "too-wide"),
+            other => panic!("expected a job error, got {other}"),
         }
     }
 

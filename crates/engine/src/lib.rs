@@ -63,13 +63,18 @@
 mod batch;
 pub mod cache;
 mod engine;
+pub mod policy;
 mod report;
 
 pub use batch::{Batch, Costing, EngineConfig, Job};
 pub use cache::{CacheStats, CachedCostModel, DecompositionCache, ShardStats};
-pub use engine::{run_batch, run_batch_streaming, JobSink};
+pub use engine::{run_batch, run_batch_streaming, run_batch_streaming_with_caches, JobSink};
 pub use paradrive_obs::{StageStats, Trace};
 pub use paradrive_verify::{Verification, VerifyLevel};
+pub use policy::{
+    run_fleet, EpochDecision, FleetEpochReport, FleetJob, FleetJobReport, FleetReport,
+    RetranspilePolicy,
+};
 pub use report::{
     BatchSummary, CalibrationSummary, CircuitReport, EngineReport, MetricsSummary, TopologySummary,
     VerificationSummary,
@@ -89,12 +94,19 @@ pub enum EngineError {
         /// The underlying transpilation failure.
         source: TranspileError,
     },
+    /// A fleet replay was malformed (see [`run_fleet`]): its jobs
+    /// disagreed on the timeline's epoch count.
+    Fleet {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Job { job, source } => write!(f, "job `{job}` failed: {source}"),
+            EngineError::Fleet { reason } => write!(f, "fleet replay rejected: {reason}"),
         }
     }
 }
@@ -103,6 +115,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Job { source, .. } => Some(source),
+            EngineError::Fleet { .. } => None,
         }
     }
 }

@@ -21,6 +21,16 @@
 //! (dead hotspot edges are never used); without it the noise-blind
 //! scoring is the baseline.
 //!
+//! `--drift SCENARIO --epochs N` adds calibration drift as a sixth axis:
+//! every (topology, calibration) pair gets a seeded drift timeline
+//! (`calm` for zero volatility, `walk<SIGMA>` for a lognormal random
+//! walk, `walk<SIGMA>dead<K>` to also kill K edges mid-timeline), the
+//! grid replays across N calibration epochs under the `--policy`
+//! re-transpilation policy (`never`, `always`, or `adaptive<LOSS>`), and
+//! the report gains per-epoch fleet rollups (mean delivered fidelity,
+//! route reuse, re-transpile rate). `--drift-seed` moves the whole
+//! family of timelines at once.
+//!
 //! `--verify` adds semantic verification as a fifth sweep axis: each
 //! level replays every cell's consolidated output through the equivalence
 //! oracles (`exact` up to the routed permutation on ≤10-qubit supports,
@@ -65,7 +75,7 @@
 //! writes the same data line-oriented. None of these flags change the
 //! report by one bit.
 
-use paradrive_engine::{Costing, Trace};
+use paradrive_engine::{Costing, RetranspilePolicy, Trace};
 use paradrive_repro::sweep::{
     merge_reports, read_journal, run_sweep_shard, splice_shard_traces, ShardOptions, SweepOutcome,
     SweepSpec,
@@ -76,7 +86,10 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: sweep [--smoke] [--threads N] [--seeds N] [--suite-seeds A,B,..] \
      [--no-cache] [--topologies T1,..] [--benchmarks B1,..] [--costings hull,synth] \
      [--calibrations C1,..] [--calibration-seed N] [--noise-aware] \
-     [--verify off,sampled,mps,exact] [--timings] [--trace FILE] [--trace-jsonl FILE] \
+     [--verify off,sampled,mps,exact] \
+     [--drift calm|walk<S>|walk<S>dead<K> --epochs N [--drift-seed N] \
+      [--policy never|always|adaptive<LOSS>]] \
+     [--timings] [--trace FILE] [--trace-jsonl FILE] \
      [--shards N --shard I] [--journal FILE [--resume]] [--out FILE]
        sweep merge <spec flags> [--out FILE] [--shard-traces A,B,..] REPORT.jsonl..";
 
@@ -174,6 +187,22 @@ fn parse_args(merge_mode: bool) -> Result<(SweepSpec, Diagnostics, Sharding), St
                     .map_err(|e| format!("--calibration-seed: {e}"))?;
             }
             "--noise-aware" => spec.noise_aware = true,
+            "--drift" => spec.drift = Some(value("--drift")?.to_string()),
+            "--epochs" => {
+                spec.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--drift-seed" => {
+                spec.drift_seed = value("--drift-seed")?
+                    .parse()
+                    .map_err(|e| format!("--drift-seed: {e}"))?;
+            }
+            "--policy" => {
+                spec.policy = value("--policy")?
+                    .parse::<RetranspilePolicy>()
+                    .map_err(|e| format!("--policy: {e}"))?;
+            }
             "--verify" => {
                 spec.verify = value("--verify")?
                     .split(',')
@@ -308,7 +337,7 @@ fn run_shard(
     }
     eprintln!(
         "sweep: {} topologies x {} benchmarks x {} costings x {} calibrations x {} verification \
-         levels x {} suite seeds, best-of-{} routing, {} routing policy{}",
+         levels x {} suite seeds, best-of-{} routing, {} routing policy{}{}",
         spec.topologies.len(),
         spec.benchmarks.len(),
         spec.costings.len(),
@@ -320,6 +349,14 @@ fn run_shard(
             "noise-aware"
         } else {
             "noise-blind"
+        },
+        match &spec.drift {
+            Some(drift) => format!(
+                ", drift {drift} over {} epochs ({} re-transpilation)",
+                spec.epochs,
+                spec.policy.label()
+            ),
+            None => String::new(),
         },
         if sharding.shards > 1 {
             format!(", shard {}/{}", sharding.shard, sharding.shards)

@@ -8,10 +8,13 @@
 //! so any process can compute its share without coordination, and merge
 //! validates coverage by checking the union of ordinals against the plan.
 
-use super::spec::{parse_calibration, parse_topology, SweepError, SweepSpec};
+use super::spec::{
+    parse_calibration, parse_drift, parse_topology, DriftScenario, SweepError, SweepSpec,
+};
 use paradrive_circuit::benchmarks::{standard_suite, wide_suite};
 use paradrive_circuit::Circuit;
 use paradrive_engine::{Costing, EngineConfig, Verification, VerifyLevel};
+use paradrive_transpiler::calibration::drift::CalibrationTimeline;
 use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::topology::CouplingMap;
 use std::fmt::Write as _;
@@ -72,6 +75,9 @@ pub struct PlannedCell {
     pub suite_seed: usize,
     /// Index into the spec's benchmark axis.
     pub benchmark: usize,
+    /// The cell's epoch along its drift timeline — always 0 for a static
+    /// (driftless) sweep.
+    pub epoch: usize,
 }
 
 /// The fully resolved sweep grid: parsed axes, the canonical cell
@@ -95,6 +101,12 @@ pub struct SweepPlan {
     runs: Vec<(Costing, VerifyLevel)>,
     cells: Vec<PlannedCell>,
     fingerprint: u64,
+    /// The parsed drift scenario, when the sweep has one.
+    drift: Option<DriftScenario>,
+    /// Drift timelines indexed `[topology][calibration]` (empty without
+    /// drift) — each walked from its own seed,
+    /// `drift_seed ^ fnv1a("{topology}|{calibration}")`.
+    timelines: Vec<Vec<Arc<CalibrationTimeline>>>,
 }
 
 impl SweepPlan {
@@ -161,6 +173,47 @@ impl SweepPlan {
             .flat_map(|&c| spec.verify.iter().map(move |&v| (c, v)))
             .collect();
 
+        // The drift axis: parse the scenario once, then walk a timeline
+        // per (topology, calibration) pair so every device drifts
+        // independently but reproducibly from the one sweep-wide seed.
+        if spec.epochs == 0 {
+            return Err(SweepError::InvalidDrift {
+                reason: "a sweep needs at least one epoch".to_string(),
+            });
+        }
+        let drift = spec.drift.as_deref().map(parse_drift).transpose()?;
+        if drift.is_none() && spec.epochs > 1 {
+            return Err(SweepError::InvalidDrift {
+                reason: format!(
+                    "{} epochs need a drift scenario (pass --drift calm for a \
+                     zero-volatility timeline)",
+                    spec.epochs
+                ),
+            });
+        }
+        let mut timelines: Vec<Vec<Arc<CalibrationTimeline>>> = Vec::new();
+        if let Some(scenario) = &drift {
+            for (t, map) in maps.iter().enumerate() {
+                let mut per_map = Vec::with_capacity(cals[t].len());
+                for cal in &cals[t] {
+                    let seed = spec.drift_seed
+                        ^ fnv1a(format!("{}|{}", map.label(), cal.label()).as_bytes());
+                    let timeline =
+                        CalibrationTimeline::generate(cal, map, &scenario.spec(spec.epochs, seed))
+                            .map_err(|e| SweepError::InvalidDrift {
+                                reason: format!(
+                                    "scenario `{}` on {}/{}: {e}",
+                                    scenario.label,
+                                    map.label(),
+                                    cal.label()
+                                ),
+                            })?;
+                    per_map.push(Arc::new(timeline));
+                }
+                timelines.push(per_map);
+            }
+        }
+
         // The fingerprint covers every axis that affects the deterministic
         // report, using *canonical* labels so aliased spellings
         // (`heavyhex3` vs `heavy-hex3`) fingerprint identically. Threads
@@ -219,22 +272,37 @@ impl SweepPlan {
             "calibration_seed={};routing_seeds={};noise_aware={}",
             spec.calibration_seed, spec.routing_seeds, spec.noise_aware
         );
+        // Drift axes join the fingerprint only when drift is active, so
+        // every static spec keeps its pre-drift fingerprint (and old
+        // journals stay resumable).
+        if let Some(scenario) = &drift {
+            let _ = write!(
+                canon,
+                ";drift={};epochs={};drift_seed={};policy={}",
+                scenario.label,
+                spec.epochs,
+                spec.drift_seed,
+                spec.policy.label()
+            );
+        }
         let fingerprint = fnv1a(canon.as_bytes());
 
         // Canonical enumeration: costing → verification (the run axis,
         // matching the engine-run loop) then topology → calibration →
         // suite seed → benchmark (the batch submission order within one
-        // run) — so `cells` sorted by ordinal reproduces the legacy
-        // single-process row order exactly.
+        // run) → epoch (innermost, so one job's timeline reads as
+        // consecutive rows) — so `cells` sorted by ordinal reproduces the
+        // legacy single-process row order exactly when drift is off
+        // (epochs is then 1 and the epoch loop degenerates).
         let mut cells = Vec::new();
         for (run, &(costing, verify)) in runs.iter().enumerate() {
             for (t, map) in maps.iter().enumerate() {
                 for (c, cal) in cals[t].iter().enumerate() {
                     for (s, suite) in circuits.iter().enumerate() {
                         for (b, circuit) in suite.iter().enumerate() {
-                            let ordinal = cells.len() as u64;
-                            let digest = fnv1a(
-                                format!(
+                            for epoch in 0..spec.epochs {
+                                let ordinal = cells.len() as u64;
+                                let mut key = format!(
                                     "{fingerprint:016x}|{}|{}|{}|{}|{}|{}",
                                     costing_label(costing),
                                     verify.label(),
@@ -242,17 +310,24 @@ impl SweepPlan {
                                     cal.label(),
                                     circuit.0,
                                     spec.suite_seeds[s],
-                                )
-                                .as_bytes(),
-                            );
-                            cells.push(PlannedCell {
-                                id: CellId { ordinal, digest },
-                                run,
-                                topology: t,
-                                calibration: c,
-                                suite_seed: s,
-                                benchmark: b,
-                            });
+                                );
+                                // The epoch joins the digest only when
+                                // drift is on, so static cells keep their
+                                // pre-drift digests.
+                                if drift.is_some() {
+                                    let _ = write!(key, "|epoch{epoch}");
+                                }
+                                let digest = fnv1a(key.as_bytes());
+                                cells.push(PlannedCell {
+                                    id: CellId { ordinal, digest },
+                                    run,
+                                    topology: t,
+                                    calibration: c,
+                                    suite_seed: s,
+                                    benchmark: b,
+                                    epoch,
+                                });
+                            }
                         }
                     }
                 }
@@ -266,6 +341,8 @@ impl SweepPlan {
             runs,
             cells,
             fingerprint,
+            drift,
+            timelines,
         })
     }
 
@@ -317,6 +394,19 @@ impl SweepPlan {
     pub fn suite_seed(&self, cell: &PlannedCell) -> u64 {
         self.spec.suite_seeds[cell.suite_seed]
     }
+
+    /// The parsed drift scenario, when the sweep has one.
+    pub fn drift(&self) -> Option<&DriftScenario> {
+        self.drift.as_ref()
+    }
+
+    /// The drift timeline a cell rides (`None` for a static sweep). All
+    /// epochs of one (topology, calibration) pair share one timeline.
+    pub fn timeline(&self, cell: &PlannedCell) -> Option<&Arc<CalibrationTimeline>> {
+        self.timelines
+            .get(cell.topology)
+            .and_then(|per_map| per_map.get(cell.calibration))
+    }
 }
 
 /// One cell of the cross-product.
@@ -341,6 +431,13 @@ pub struct SweepCell {
     pub verification: Option<Verification>,
     /// Workload seed the suite was instantiated with.
     pub suite_seed: u64,
+    /// The cell's epoch along its drift timeline (0 for static sweeps).
+    pub epoch: usize,
+    /// What the re-transpilation policy did for this cell: `"-"` on
+    /// static sweeps, else `"fresh"`, `"kept"`, or `"retrans"` (see
+    /// [`paradrive_engine::EpochDecision`]). Pure function of the spec —
+    /// part of the deterministic report.
+    pub decision: &'static str,
     /// Routing SWAPs inserted (best of N seeds).
     pub swaps: usize,
     /// Depth of the routed physical circuit.
@@ -366,13 +463,18 @@ pub struct SweepCell {
 
 impl SweepCell {
     /// The cell's deterministic label — a pure function of the sweep
-    /// axes (`costing:topology/calibration/benchmark@seed`), so timing
-    /// diagnostics can name a cell reproducibly across runs.
+    /// axes (`costing:topology/calibration/benchmark@seed`, plus an
+    /// `#e<EPOCH>` suffix on fleet cells), so timing diagnostics can
+    /// name a cell reproducibly across runs.
     pub fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}:{}/{}/{}@{}",
             self.costing, self.topology, self.calibration, self.benchmark, self.suite_seed
-        )
+        );
+        if self.decision != "-" {
+            let _ = write!(s, "#e{}", self.epoch);
+        }
+        s
     }
 }
 
@@ -439,6 +541,96 @@ mod tests {
                 base,
                 "axis change did not move the fingerprint"
             );
+        }
+    }
+
+    #[test]
+    fn drift_axes_extend_identity_only_when_active() {
+        use paradrive_engine::RetranspilePolicy;
+        let spec = SweepSpec::smoke();
+        let base = SweepPlan::new(&spec).unwrap();
+        // Drift knobs are fingerprint- and digest-neutral while drift is
+        // off: a static spec keeps its pre-drift identity.
+        let mut knobs = spec.clone();
+        knobs.drift_seed = 99;
+        knobs.policy = RetranspilePolicy::Never;
+        let same = SweepPlan::new(&knobs).unwrap();
+        assert_eq!(same.fingerprint(), base.fingerprint());
+        for (a, b) in base.cells().iter().zip(same.cells()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.epoch, 0);
+        }
+        assert!(base.drift().is_none());
+        assert!(base.timeline(&base.cells()[0]).is_none());
+
+        // Turning drift on multiplies the grid by the epoch count, with
+        // the epoch as the innermost axis and distinct digests per epoch.
+        let mut drift = spec.clone();
+        drift.drift = Some("walk0.05".into());
+        drift.epochs = 3;
+        let plan = SweepPlan::new(&drift).unwrap();
+        assert_ne!(plan.fingerprint(), base.fingerprint());
+        assert_eq!(plan.cells().len(), base.cells().len() * 3);
+        let mut digests = std::collections::BTreeSet::new();
+        for (i, cell) in plan.cells().iter().enumerate() {
+            assert_eq!(cell.id.ordinal, i as u64);
+            assert_eq!(cell.epoch, i % 3);
+            assert!(digests.insert(cell.id.digest), "digest collision at {i}");
+        }
+        // All epochs of one (topology, calibration) share one generated
+        // timeline of the planned length.
+        let timeline = plan.timeline(&plan.cells()[0]).unwrap();
+        assert_eq!(timeline.epochs(), 3);
+        assert!(Arc::ptr_eq(
+            timeline,
+            plan.timeline(&plan.cells()[2]).unwrap()
+        ));
+
+        // Every drift knob moves the fingerprint once drift is on.
+        for mutate in [
+            (|s: &mut SweepSpec| s.epochs = 4) as fn(&mut SweepSpec),
+            |s| s.drift_seed = 31,
+            |s| s.policy = RetranspilePolicy::Never,
+            |s| s.drift = Some("walk0.1".into()),
+        ] {
+            let mut changed = drift.clone();
+            mutate(&mut changed);
+            assert_ne!(
+                SweepPlan::new(&changed).unwrap().fingerprint(),
+                plan.fingerprint(),
+                "drift knob change did not move the fingerprint"
+            );
+        }
+
+        // Inconsistent drift axes are typed errors.
+        let mut epochs_without_drift = spec.clone();
+        epochs_without_drift.epochs = 2;
+        assert!(matches!(
+            SweepPlan::new(&epochs_without_drift).unwrap_err(),
+            SweepError::InvalidDrift { .. }
+        ));
+        let mut zero_epochs = drift.clone();
+        zero_epochs.epochs = 0;
+        assert!(matches!(
+            SweepPlan::new(&zero_epochs).unwrap_err(),
+            SweepError::InvalidDrift { .. }
+        ));
+        let mut bad_scenario = drift.clone();
+        bad_scenario.drift = Some("storm".into());
+        assert!(matches!(
+            SweepPlan::new(&bad_scenario).unwrap_err(),
+            SweepError::Drift(_)
+        ));
+        // Dead-edge events need a later epoch to fire in; the generator's
+        // rejection surfaces with the scenario and device named.
+        let mut eventful_one_epoch = drift.clone();
+        eventful_one_epoch.drift = Some("walk0.05dead1".into());
+        eventful_one_epoch.epochs = 1;
+        match SweepPlan::new(&eventful_one_epoch).unwrap_err() {
+            SweepError::InvalidDrift { reason } => {
+                assert!(reason.contains("walk0.05dead1"), "{reason}");
+            }
+            other => panic!("expected InvalidDrift, got {other:?}"),
         }
     }
 

@@ -154,6 +154,11 @@ pub(crate) fn cell_line(cell: &SweepCell) -> String {
     );
     let _ = write!(
         s,
+        ",\"epoch\":{},\"decision\":\"{}\"",
+        cell.epoch, cell.decision
+    );
+    let _ = write!(
+        s,
         ",\"swaps\":{},\"depth\":{},\"blocks\":{},\"baseline_duration\":{},\"optimized_duration\":{},\"reduction_pct\":{},\"ft_improvement_pct\":{},\"optimized_ft\":{}",
         cell.swaps,
         cell.depth,
@@ -268,6 +273,22 @@ fn parse_cell(v: &Value) -> Result<SweepCell, String> {
         "exact" => "exact",
         other => return Err(format!("unknown verify label {other:?}")),
     };
+    // Drift fields parse leniently: journals written before the fleet
+    // sweep existed carry neither, and default to a static cell.
+    let epoch = match v.get("epoch") {
+        None => 0,
+        Some(_) => usize_field(v, "epoch")?,
+    };
+    let decision = match v.get("decision") {
+        None => "-",
+        Some(_) => match str_field(v, "decision")? {
+            "-" => "-",
+            "fresh" => "fresh",
+            "kept" => "kept",
+            "retrans" => "retrans",
+            other => return Err(format!("unknown decision label {other:?}")),
+        },
+    };
     Ok(SweepCell {
         ordinal: u64_str_field_num(v, "ordinal")?,
         digest: u64_str_field(v, "digest", 16)?,
@@ -278,6 +299,8 @@ fn parse_cell(v: &Value) -> Result<SweepCell, String> {
         verify,
         verification: parse_verification(v)?,
         suite_seed: u64_str_field(v, "suite_seed", 10)?,
+        epoch,
+        decision,
         swaps: usize_field(v, "swaps")?,
         depth: usize_field(v, "depth")?,
         blocks: usize_field(v, "blocks")?,
@@ -371,7 +394,7 @@ pub fn parse_journal(text: &str, origin: &str) -> Result<JournalContents, SweepE
             }
             // Rollup summary lines in `--out` mirrors are derivable from
             // the cells; merge refolds them and skips these.
-            "rollup" | "verification" => Ok(()),
+            "rollup" | "verification" | "fleet" => Ok(()),
             other => Err(format!("unknown line type {other:?}")),
         };
         if let Err(reason) = parsed {
@@ -486,6 +509,8 @@ mod tests {
                 passed: true,
             }),
             suite_seed: u64::MAX - 3, // exercises the >2^53 string path
+            epoch: 2,
+            decision: "kept",
             swaps: 3,
             depth: 41,
             blocks: 17,
@@ -507,6 +532,8 @@ mod tests {
         assert_eq!(a.costing, b.costing);
         assert_eq!(a.verify, b.verify);
         assert_eq!(a.suite_seed, b.suite_seed);
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.decision, b.decision);
         assert_eq!(a.swaps, b.swaps);
         assert_eq!(
             a.baseline_duration.to_bits(),
@@ -562,6 +589,24 @@ mod tests {
         none.verification = None;
         let parsed = parse_cell(&json::parse(&cell_line(&none)).unwrap()).unwrap();
         assert!(parsed.verification.is_none());
+    }
+
+    #[test]
+    fn pre_drift_cell_lines_parse_to_static_cells() {
+        // A line written before the fleet sweep existed has no
+        // epoch/decision fields; it must parse as an epoch-0 static cell.
+        let mut cell = sample_cell(3);
+        cell.epoch = 0;
+        cell.decision = "-";
+        let line = cell_line(&cell).replace(",\"epoch\":0,\"decision\":\"-\"", "");
+        assert!(!line.contains("epoch"), "{line}");
+        let parsed = parse_cell(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!((parsed.epoch, parsed.decision), (0, "-"));
+        assert_cells_round_trip(&cell, &parsed);
+        // Unknown decision labels are rejected, not defaulted.
+        let bad = cell_line(&cell).replace("\"decision\":\"-\"", "\"decision\":\"maybe\"");
+        let err = parse_cell(&json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("decision"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,9 @@ use super::cell::{costing_label, PlannedCell, SweepCell, SweepPlan};
 use super::checkpoint::{Journal, JournalContents, Meta};
 use super::rollup::{RunRollup, SweepRun};
 use super::spec::{SweepError, SweepSpec};
-use paradrive_engine::{run_batch_streaming, Batch, CircuitReport, EngineConfig, Trace};
+use paradrive_engine::{
+    run_batch_streaming, run_fleet, Batch, CircuitReport, EngineConfig, FleetJob, Trace,
+};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -191,7 +193,103 @@ pub fn run_sweep_shard(
                 by_topology: rollup.by_topology(),
                 by_calibration: rollup.by_calibration(),
                 verification: rollup.verification(),
+                fleet: rollup.fleet(),
                 trace: Trace::default(),
+            });
+            continue;
+        }
+
+        let config = EngineConfig::default()
+            .threads(spec.threads)
+            .routing_seeds(spec.routing_seeds)
+            .cache(spec.cache)
+            .costing(costing)
+            .noise_aware(spec.noise_aware)
+            .verify(verify)
+            .keep_routed(true);
+
+        if plan.drift().is_some() {
+            // Drift path: one fleet replay per run. Each distinct
+            // (topology, calibration, seed, benchmark) tuple with at
+            // least one pending cell becomes a fleet job; the whole
+            // timeline re-runs — a fleet replay is a pure function of
+            // the spec — and only owned, non-restored cells are
+            // emitted, so shard/merge/resume stay byte-identical to an
+            // unsharded run.
+            let key_of = |c: &PlannedCell| (c.topology, c.calibration, c.suite_seed, c.benchmark);
+            let mut reps: Vec<&PlannedCell> = Vec::new();
+            for cell in &pending {
+                if !reps.iter().any(|r| key_of(r) == key_of(cell)) {
+                    reps.push(cell);
+                }
+            }
+            let jobs: Vec<FleetJob> = reps
+                .iter()
+                .map(|cell| {
+                    let (name, circuit) = plan.benchmark(cell);
+                    FleetJob {
+                        name: format!("{}@{}", name, plan.suite_seed(cell)),
+                        circuit: circuit.clone(),
+                        map: Arc::clone(plan.map(cell)),
+                        timeline: Arc::clone(
+                            plan.timeline(cell).expect("drift sweeps plan timelines"),
+                        ),
+                    }
+                })
+                .collect();
+            let fleet = run_fleet(&jobs, &config, &plan.spec().policy)?;
+            for planned in &pending {
+                let job = reps
+                    .iter()
+                    .position(|r| key_of(r) == key_of(planned))
+                    .expect("every pending cell keys a fleet job");
+                let outcome = &fleet.epochs[planned.epoch].jobs[job];
+                let r = &outcome.report.result;
+                let cell = SweepCell {
+                    ordinal: planned.id.ordinal,
+                    digest: planned.id.digest,
+                    topology: outcome.report.topology.clone(),
+                    calibration: outcome.report.calibration.clone(),
+                    // The fleet job name carries an `@seed` suffix for
+                    // trace readability; the cell keeps the bare
+                    // benchmark name so rows match the static sweep.
+                    benchmark: plan.benchmark(planned).0.clone(),
+                    costing: costing_label(costing),
+                    verify: verify.label(),
+                    verification: outcome.report.verification.clone(),
+                    suite_seed: plan.suite_seed(planned),
+                    epoch: planned.epoch,
+                    decision: outcome.decision.label(),
+                    swaps: r.swaps,
+                    depth: outcome.report.routed.as_ref().map_or(0, |c| c.depth()),
+                    blocks: r.blocks,
+                    baseline_duration: r.baseline_duration,
+                    optimized_duration: r.optimized_duration,
+                    reduction_pct: r.duration_reduction_pct,
+                    ft_improvement_pct: r.ft_improvement_pct,
+                    optimized_ft: r.optimized_total_fidelity,
+                    // Fleet spans are keyed per epoch sub-batch, not per
+                    // grid cell; per-cell wall time is deliberately zero
+                    // so the deterministic report stays replay-stable.
+                    wall: Duration::ZERO,
+                };
+                rollup.absorb(&cell);
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&cell)?;
+                }
+                all_cells.push(cell);
+            }
+            runs.push(SweepRun {
+                costing: costing_label(costing),
+                verify: verify.label(),
+                threads: fleet.threads,
+                wall_clock: fleet.wall_clock,
+                cache: None,
+                by_topology: rollup.by_topology(),
+                by_calibration: rollup.by_calibration(),
+                verification: rollup.verification(),
+                fleet: rollup.fleet(),
+                trace: fleet.trace,
             });
             continue;
         }
@@ -208,14 +306,6 @@ pub fn run_sweep_shard(
                 Arc::clone(plan.calibration(cell)),
             );
         }
-        let config = EngineConfig::default()
-            .threads(spec.threads)
-            .routing_seeds(spec.routing_seeds)
-            .cache(spec.cache)
-            .costing(costing)
-            .noise_aware(spec.noise_aware)
-            .verify(verify)
-            .keep_routed(true);
 
         let state = Mutex::new(SinkState {
             cells: Vec::with_capacity(pending.len()),
@@ -236,6 +326,8 @@ pub fn run_sweep_shard(
                 verify: verify.label(),
                 verification: report.verification,
                 suite_seed: plan.suite_seed(planned),
+                epoch: planned.epoch,
+                decision: "-",
                 swaps: r.swaps,
                 // Depth is the one thing the routed circuit is kept for;
                 // read it and let the circuit drop right here, so peak
@@ -322,6 +414,7 @@ pub fn run_sweep_shard(
             by_topology: rollup.by_topology(),
             by_calibration: rollup.by_calibration(),
             verification: rollup.verification(),
+            fleet: rollup.fleet(),
             trace,
         });
     }
@@ -473,6 +566,7 @@ pub fn merge_reports(
             by_topology: rollup.by_topology(),
             by_calibration: rollup.by_calibration(),
             verification: rollup.verification(),
+            fleet: rollup.fleet(),
             trace: Trace::default(),
         })
         .collect();

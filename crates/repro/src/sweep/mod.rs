@@ -16,6 +16,12 @@
 //! ([`SweepSpec::verify`]): each level replays every cell's consolidated
 //! output through the [`paradrive_verify`](paradrive_engine::Verification)
 //! equivalence oracles, turning the sweep into a self-checking experiment.
+//! Calibration drift is the sixth axis ([`SweepSpec::drift`]): a seeded
+//! [drift timeline](paradrive_transpiler::calibration::drift) replays the
+//! grid across [`SweepSpec::epochs`] calibration snapshots under a
+//! [re-transpilation policy](paradrive_engine::RetranspilePolicy), adding
+//! an innermost epoch axis to every cell plus per-epoch fleet rollups
+//! (mean delivered fidelity, route reuse, re-transpile rate).
 //!
 //! # Layered for sharding
 //!
@@ -61,10 +67,10 @@ pub use cell::{costing_label, CellId, PlannedCell, SweepCell, SweepPlan};
 pub use checkpoint::{parse_journal, read_journal, Journal, JournalContents, Meta};
 pub use exec::{merge_reports, run_sweep, run_sweep_shard, ShardOptions, SweepOutcome};
 pub use render::splice_shard_traces;
-pub use rollup::{ExactSum, RunRollup, SweepRun};
+pub use rollup::{ExactSum, FleetEpochSummary, FleetSummary, RunRollup, SweepRun};
 pub use spec::{
-    parse_calibration, parse_topology, CalibrationParseError, SweepError, SweepSpec,
-    TopologyParseError,
+    parse_calibration, parse_drift, parse_topology, CalibrationParseError, DriftParseError,
+    DriftScenario, SweepError, SweepSpec, TopologyParseError,
 };
 
 #[cfg(test)]

@@ -30,35 +30,69 @@ impl SweepOutcome {
                     run.costing, run.verify
                 );
             }
-            let _ = writeln!(
-                out,
-                "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>9}",
-                "topology",
-                "calibration",
-                "benchmark",
-                "seed",
-                "swaps",
-                "depth",
-                "blocks",
-                "D[base]",
-                "D[opt]",
-                "Δ%",
-                "FT imp%",
-                "F[T]opt"
-            );
+            // Drifted runs carry two extra columns (epoch + policy
+            // decision); static runs keep the legacy layout byte for
+            // byte.
+            let fleet_run = run.fleet.is_some();
+            if fleet_run {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<12} {:<11} {:>5} {:>3} {:>8} {:>6} {:>6} {:>7} {:>10} {:>10} \
+                     {:>7} {:>9} {:>9}",
+                    "topology",
+                    "calibration",
+                    "benchmark",
+                    "seed",
+                    "ep",
+                    "decision",
+                    "swaps",
+                    "depth",
+                    "blocks",
+                    "D[base]",
+                    "D[opt]",
+                    "Δ%",
+                    "FT imp%",
+                    "F[T]opt"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7} {:>9} {:>9}",
+                    "topology",
+                    "calibration",
+                    "benchmark",
+                    "seed",
+                    "swaps",
+                    "depth",
+                    "blocks",
+                    "D[base]",
+                    "D[opt]",
+                    "Δ%",
+                    "FT imp%",
+                    "F[T]opt"
+                );
+            }
             for c in self
                 .cells
                 .iter()
                 .filter(|c| c.costing == run.costing && c.verify == run.verify)
             {
+                if fleet_run {
+                    let _ = write!(
+                        out,
+                        "{:<16} {:<12} {:<11} {:>5} {:>3} {:>8}",
+                        c.topology, c.calibration, c.benchmark, c.suite_seed, c.epoch, c.decision,
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        "{:<16} {:<12} {:<11} {:>5}",
+                        c.topology, c.calibration, c.benchmark, c.suite_seed,
+                    );
+                }
                 let _ = write!(
                     out,
-                    "{:<16} {:<12} {:<11} {:>5} {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} \
-                     {:>9.2} {:>9.4}",
-                    c.topology,
-                    c.calibration,
-                    c.benchmark,
-                    c.suite_seed,
+                    " {:>6} {:>6} {:>7} {:>10.2} {:>10.2} {:>7.1} {:>9.2} {:>9.4}",
                     c.swaps,
                     c.depth,
                     c.blocks,
@@ -95,6 +129,30 @@ impl SweepOutcome {
                     g.total_swaps,
                     g.mean_reduction_pct,
                     g.mean_optimized_ft
+                );
+            }
+            if let Some(f) = &run.fleet {
+                let _ = writeln!(out, "fleet:");
+                for e in &f.epochs {
+                    let _ = writeln!(
+                        out,
+                        "  epoch {:>2}: {} cells, {} fresh, {} kept, {} retrans, \
+                         mean F[T]opt {:.4}, route reuse {:.1}%",
+                        e.epoch,
+                        e.cells,
+                        e.fresh,
+                        e.kept,
+                        e.retranspiled,
+                        e.mean_delivered_ft,
+                        e.route_reuse_rate * 100.0,
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "  mean delivered F[T]opt {:.4}, {} re-transpiles, re-transpile rate {:.1}%",
+                    f.mean_delivered_ft,
+                    f.total_retranspiles,
+                    f.retranspile_rate * 100.0,
                 );
             }
             if let Some(v) = &run.verification {
@@ -226,6 +284,28 @@ impl SweepOutcome {
                     g.total_swaps,
                     checkpoint::fmt_f64(g.mean_reduction_pct),
                     checkpoint::fmt_f64(g.mean_optimized_ft),
+                );
+            }
+            if let Some(f) = &run.fleet {
+                for e in &f.epochs {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"fleet\",{head},\"epoch\":{},\"cells\":{},\"fresh\":{},\"kept\":{},\"retranspiled\":{},\"mean_delivered_ft\":{},\"route_reuse_rate\":{}}}",
+                        e.epoch,
+                        e.cells,
+                        e.fresh,
+                        e.kept,
+                        e.retranspiled,
+                        checkpoint::fmt_f64(e.mean_delivered_ft),
+                        checkpoint::fmt_f64(e.route_reuse_rate),
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"fleet\",{head},\"summary\":true,\"mean_delivered_ft\":{},\"total_retranspiles\":{},\"retranspile_rate\":{}}}",
+                    checkpoint::fmt_f64(f.mean_delivered_ft),
+                    f.total_retranspiles,
+                    checkpoint::fmt_f64(f.retranspile_rate),
                 );
             }
             if let Some(v) = &run.verification {

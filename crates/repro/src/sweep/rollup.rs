@@ -251,6 +251,68 @@ fn merge_groups(into: &mut Vec<GroupAcc>, from: &[GroupAcc]) {
     }
 }
 
+/// Fleet rollup monoid for one epoch: decision counts plus the exact
+/// delivered-fidelity sum (all order-independent).
+#[derive(Debug, Clone)]
+struct EpochAcc {
+    epoch: usize,
+    cells: usize,
+    fresh: usize,
+    kept: usize,
+    retrans: usize,
+    delivered_ft: ExactSum,
+}
+
+impl EpochAcc {
+    fn new(epoch: usize) -> Self {
+        EpochAcc {
+            epoch,
+            cells: 0,
+            fresh: 0,
+            kept: 0,
+            retrans: 0,
+            delivered_ft: ExactSum::new(),
+        }
+    }
+}
+
+/// One epoch's row of a [`FleetSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEpochSummary {
+    /// The epoch index (0 is the initial calibration).
+    pub epoch: usize,
+    /// Fleet cells at this epoch.
+    pub cells: usize,
+    /// Cells transpiled fresh (epoch 0).
+    pub fresh: usize,
+    /// Cells that kept their cached route.
+    pub kept: usize,
+    /// Cells the policy re-transpiled.
+    pub retranspiled: usize,
+    /// Mean delivered (optimized total) fidelity at this epoch.
+    pub mean_delivered_ft: f64,
+    /// Fraction of this epoch's cells that reused their cached route —
+    /// the deterministic cache-hit-decay signal (0 at epoch 0).
+    pub route_reuse_rate: f64,
+}
+
+/// The fleet rollup of one engine run: per-epoch decision mix and
+/// delivered fidelity, plus the run-wide policy metrics. `None` on
+/// static (driftless) runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Per-epoch rows in epoch order.
+    pub epochs: Vec<FleetEpochSummary>,
+    /// Mean delivered fidelity over every (cell, epoch) — the fleet's
+    /// quality metric.
+    pub mean_delivered_ft: f64,
+    /// Total re-transpiles ordered after epoch 0 — the policy's cost.
+    pub total_retranspiles: usize,
+    /// Fraction of post-epoch-0 decisions that re-transpiled (`NaN` with
+    /// fewer than two epochs).
+    pub retranspile_rate: f64,
+}
+
 /// Verification rollup monoid: verdict counts plus the fidelity minimum
 /// (both order-independent).
 #[derive(Debug, Clone)]
@@ -291,6 +353,7 @@ pub struct RunRollup {
     by_topology: Vec<GroupAcc>,
     by_calibration: Vec<GroupAcc>,
     verification: VerifyAcc,
+    fleet: Vec<EpochAcc>,
 }
 
 impl RunRollup {
@@ -320,6 +383,23 @@ impl RunRollup {
                 acc.min_fidelity = acc.min_fidelity.min(f);
             }
         }
+        if cell.decision != "-" {
+            let acc = match self.fleet.iter_mut().find(|e| e.epoch == cell.epoch) {
+                Some(acc) => acc,
+                None => {
+                    self.fleet.push(EpochAcc::new(cell.epoch));
+                    self.fleet.last_mut().unwrap()
+                }
+            };
+            acc.cells += 1;
+            match cell.decision {
+                "fresh" => acc.fresh += 1,
+                "kept" => acc.kept += 1,
+                "retrans" => acc.retrans += 1,
+                _ => {}
+            }
+            acc.delivered_ft.add(cell.optimized_ft);
+        }
     }
 
     /// Folds another shard's partial rollup in.
@@ -335,6 +415,18 @@ impl RunRollup {
         a.errors += b.errors;
         a.failed += b.failed;
         a.min_fidelity = a.min_fidelity.min(b.min_fidelity);
+        for e in &other.fleet {
+            match self.fleet.iter_mut().find(|m| m.epoch == e.epoch) {
+                Some(m) => {
+                    m.cells += e.cells;
+                    m.fresh += e.fresh;
+                    m.kept += e.kept;
+                    m.retrans += e.retrans;
+                    m.delivered_ft.merge(&e.delivered_ft);
+                }
+                None => self.fleet.push(e.clone()),
+            }
+        }
     }
 
     /// Per-topology summaries, ordered by each group's smallest cell
@@ -368,6 +460,46 @@ impl RunRollup {
                 mean_optimized_ft: g.optimized_ft.to_f64() / g.circuits as f64,
             })
             .collect()
+    }
+
+    /// The run's fleet rollup, or `None` when no absorbed cell carried a
+    /// fleet decision (a static, driftless run).
+    pub fn fleet(&self) -> Option<FleetSummary> {
+        if self.fleet.is_empty() {
+            return None;
+        }
+        let mut accs = self.fleet.clone();
+        accs.sort_by_key(|e| e.epoch);
+        let mut total = ExactSum::new();
+        let mut total_cells = 0usize;
+        let mut total_retranspiles = 0usize;
+        let mut late_decisions = 0usize;
+        let epochs = accs
+            .iter()
+            .map(|e| {
+                total.merge(&e.delivered_ft);
+                total_cells += e.cells;
+                if e.epoch > 0 {
+                    total_retranspiles += e.retrans;
+                    late_decisions += e.cells;
+                }
+                FleetEpochSummary {
+                    epoch: e.epoch,
+                    cells: e.cells,
+                    fresh: e.fresh,
+                    kept: e.kept,
+                    retranspiled: e.retrans,
+                    mean_delivered_ft: e.delivered_ft.to_f64() / e.cells as f64,
+                    route_reuse_rate: e.kept as f64 / e.cells as f64,
+                }
+            })
+            .collect();
+        Some(FleetSummary {
+            epochs,
+            mean_delivered_ft: total.to_f64() / total_cells as f64,
+            total_retranspiles,
+            retranspile_rate: total_retranspiles as f64 / late_decisions as f64,
+        })
     }
 
     /// The run-wide verification rollup, or `None` when no absorbed cell
@@ -417,6 +549,9 @@ pub struct SweepRun {
     pub by_calibration: Vec<CalibrationSummary>,
     /// Batch-wide verification rollup (`None` with verification off).
     pub verification: Option<VerificationSummary>,
+    /// Fleet rollup: per-epoch decision mix, delivered fidelity, and the
+    /// policy's re-transpile cost (`None` on static runs).
+    pub fleet: Option<FleetSummary>,
     /// The run's execution trace, with every span relabeled to its
     /// deterministic cell label (timing-only — see
     /// [`super::SweepOutcome::merged_trace`] for the whole-sweep export).
@@ -594,6 +729,8 @@ mod tests {
             verify: "off",
             verification: None,
             suite_seed: 7,
+            epoch: 0,
+            decision: "-",
             swaps: 2,
             depth: 10,
             blocks: 12,
@@ -648,6 +785,66 @@ mod tests {
             merged.merge(b);
             assert_eq!(merged.by_topology(), whole.by_topology());
             assert_eq!(merged.by_calibration(), whole.by_calibration());
+        }
+    }
+
+    #[test]
+    fn fleet_rollup_counts_decisions_and_merge_commutes() {
+        // Static cells never create a fleet rollup.
+        let mut plain = RunRollup::new();
+        plain.absorb(&cell(0, "grid4x4", "uniform", 10.0));
+        assert!(plain.fleet().is_none());
+
+        // Two jobs × three epochs: fresh/fresh, kept/retrans, kept/kept.
+        let mk = |ordinal: u64, epoch: usize, decision: &'static str, ft: f64| {
+            let mut c = cell(ordinal, "grid4x4", "uniform", 10.0);
+            c.epoch = epoch;
+            c.decision = decision;
+            c.optimized_ft = ft;
+            c
+        };
+        let cells = [
+            mk(0, 0, "fresh", 0.9),
+            mk(1, 1, "kept", 0.8),
+            mk(2, 2, "kept", 0.7),
+            mk(3, 0, "fresh", 0.9),
+            mk(4, 1, "retrans", 0.88),
+            mk(5, 2, "kept", 0.86),
+        ];
+        let mut whole = RunRollup::new();
+        for c in &cells {
+            whole.absorb(c);
+        }
+        let fleet = whole.fleet().unwrap();
+        assert_eq!(fleet.epochs.len(), 3);
+        let e0 = &fleet.epochs[0];
+        assert_eq!((e0.cells, e0.fresh, e0.kept, e0.retranspiled), (2, 2, 0, 0));
+        assert_eq!(e0.route_reuse_rate, 0.0);
+        let e1 = &fleet.epochs[1];
+        assert_eq!((e1.kept, e1.retranspiled), (1, 1));
+        assert!((e1.route_reuse_rate - 0.5).abs() < 1e-12);
+        assert!((e1.mean_delivered_ft - 0.84).abs() < 1e-12);
+        assert_eq!(fleet.epochs[2].route_reuse_rate, 1.0);
+        assert_eq!(fleet.total_retranspiles, 1);
+        assert!((fleet.retranspile_rate - 0.25).abs() < 1e-12);
+        let grand_mean = (0.9 + 0.8 + 0.7 + 0.9 + 0.88 + 0.86) / 6.0;
+        assert!((fleet.mean_delivered_ft - grand_mean).abs() < 1e-12);
+
+        // Shard-split rollups merge to the identical summary, either way
+        // the merge associates (epochs absorbed out of order on purpose).
+        let mut even = RunRollup::new();
+        let mut odd = RunRollup::new();
+        for c in cells.iter().rev() {
+            if c.ordinal % 2 == 0 {
+                even.absorb(c);
+            } else {
+                odd.absorb(c);
+            }
+        }
+        for (a, b) in [(&even, &odd), (&odd, &even)] {
+            let mut merged = a.clone();
+            merged.merge(b);
+            assert_eq!(merged.fleet().unwrap(), fleet);
         }
     }
 

@@ -1,7 +1,8 @@
 //! Sweep axes and their grammars: [`SweepSpec`], the topology and
 //! calibration parsers, and the typed error surface ([`SweepError`]).
 
-use paradrive_engine::{Costing, EngineError, VerifyLevel};
+use paradrive_engine::{Costing, EngineError, RetranspilePolicy, VerifyLevel};
+use paradrive_transpiler::calibration::drift::DriftSpec;
 use paradrive_transpiler::calibration::Calibration;
 use paradrive_transpiler::fidelity::FidelityModel;
 use paradrive_transpiler::topology::CouplingMap;
@@ -35,6 +36,21 @@ pub struct SweepSpec {
     pub threads: usize,
     /// Decomposition cache on/off.
     pub cache: bool,
+    /// Calibration drift scenario, parsed by [`parse_drift`] — `None`
+    /// keeps the static (single-epoch) sweep. With drift on, every cell
+    /// becomes an epoch column of a fleet replay (see
+    /// [`paradrive_engine::run_fleet`]).
+    pub drift: Option<String>,
+    /// Timeline length per cell when drift is on. Must be 1 for a static
+    /// sweep — the planner rejects `epochs > 1` without a drift scenario.
+    pub epochs: usize,
+    /// Seed for the drift timelines; each (topology, calibration) pair
+    /// derives its own walk seed from this, so fleets on different
+    /// devices drift independently but reproducibly.
+    pub drift_seed: u64,
+    /// The re-transpilation policy fleet cells run under. Ignored (but
+    /// still fingerprint-neutral) without drift.
+    pub policy: RetranspilePolicy,
 }
 
 impl SweepSpec {
@@ -57,6 +73,12 @@ impl SweepSpec {
             noise_aware: false,
             threads: 0,
             cache: true,
+            drift: None,
+            epochs: 1,
+            drift_seed: 29,
+            policy: RetranspilePolicy::Adaptive {
+                max_fidelity_loss: 0.05,
+            },
         }
     }
 
@@ -77,6 +99,12 @@ impl SweepSpec {
             noise_aware: false,
             threads: 0,
             cache: true,
+            drift: None,
+            epochs: 1,
+            drift_seed: 29,
+            policy: RetranspilePolicy::Adaptive {
+                max_fidelity_loss: 0.05,
+            },
         }
     }
 }
@@ -300,6 +328,119 @@ pub fn parse_calibration(
     Err(CalibrationParseError::UnknownScenario(name.to_string()))
 }
 
+/// A rejected drift scenario spec, with the reason classified — the
+/// drift counterpart of [`CalibrationParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriftParseError {
+    /// The name matched no scenario family of the grammar.
+    UnknownScenario(String),
+    /// A parameter was not a number of the expected kind.
+    MalformedParameter(String),
+}
+
+impl std::fmt::Display for DriftParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftParseError::UnknownScenario(name) => write!(
+                f,
+                "unknown drift scenario `{name}` (expected calm, walk<SIGMA>, \
+                 or walk<SIGMA>dead<K>)"
+            ),
+            DriftParseError::MalformedParameter(name) => {
+                write!(f, "malformed drift parameter in `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftParseError {}
+
+/// A parsed drift scenario — the per-device-independent part of a
+/// [`DriftSpec`] (epochs and the walk seed are supplied per sweep and
+/// per (topology, calibration) pair when the timeline is generated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftScenario {
+    /// Canonical scenario label (aliased spellings normalize here, so
+    /// fingerprints and reports agree on one name).
+    pub label: String,
+    /// Lognormal σ of the per-qubit T1/T2 random walk.
+    pub qubit_sigma: f64,
+    /// Lognormal σ of the per-edge error-rate random walk.
+    pub edge_sigma: f64,
+    /// Abrupt dead-edge events scheduled across the timeline.
+    pub dead_edges: usize,
+}
+
+impl DriftScenario {
+    /// Instantiates the scenario as a concrete [`DriftSpec`] for one
+    /// timeline.
+    pub fn spec(&self, epochs: usize, seed: u64) -> DriftSpec {
+        DriftSpec {
+            epochs,
+            qubit_sigma: self.qubit_sigma,
+            edge_sigma: self.edge_sigma,
+            dead_edges: self.dead_edges,
+            seed,
+        }
+    }
+}
+
+/// Parses a drift scenario name.
+///
+/// Grammar (case-insensitive): `calm` (the zero-volatility timeline —
+/// bit-identical to the static sweep at every epoch), `walk<SIGMA>`
+/// (lognormal random walks with σ = SIGMA on qubit lifetimes and edge
+/// error rates), `walk<SIGMA>dead<K>` (the walk plus K seeded abrupt
+/// dead-edge events). Labels produced by the parser parse back to the
+/// same scenario, so they can be copied from a report into `--drift`.
+///
+/// ```
+/// use paradrive_repro::sweep::parse_drift;
+///
+/// let s = parse_drift("walk0.02dead2")?;
+/// assert_eq!((s.edge_sigma, s.dead_edges), (0.02, 2));
+/// assert_eq!(parse_drift(&s.label)?, s);
+/// # Ok::<(), paradrive_repro::sweep::DriftParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`DriftParseError`] classifying the rejection. Semantic
+/// rejections (negative σ, more dead edges than the device has) surface
+/// later, when the timeline generator runs against a concrete topology.
+pub fn parse_drift(name: &str) -> Result<DriftScenario, DriftParseError> {
+    let flat = name.to_ascii_lowercase();
+    let malformed = || DriftParseError::MalformedParameter(name.to_string());
+    if flat == "calm" {
+        return Ok(DriftScenario {
+            label: "calm".to_string(),
+            qubit_sigma: 0.0,
+            edge_sigma: 0.0,
+            dead_edges: 0,
+        });
+    }
+    if let Some(rest) = flat.strip_prefix("walk") {
+        let (sigma, dead_edges) = match rest.split_once("dead") {
+            Some((s, k)) => (s, k.parse::<usize>().map_err(|_| malformed())?),
+            None => (rest, 0),
+        };
+        let sigma: f64 = sigma.parse().map_err(|_| malformed())?;
+        let label = if dead_edges > 0 {
+            format!("walk{sigma}dead{dead_edges}")
+        } else {
+            format!("walk{sigma}")
+        };
+        return Ok(DriftScenario {
+            label,
+            qubit_sigma: sigma,
+            edge_sigma: sigma,
+            dead_edges,
+        });
+    }
+    Err(DriftParseError::UnknownScenario(name.to_string()))
+}
+
 /// Everything a sweep can fail with, classified — replaces the former
 /// stringly-typed `Result<_, String>` surface of `run_sweep`.
 #[derive(Debug)]
@@ -311,6 +452,16 @@ pub enum SweepError {
     Topology(TopologyParseError),
     /// A calibration scenario name was rejected.
     Calibration(CalibrationParseError),
+    /// A drift scenario name was rejected.
+    Drift(DriftParseError),
+    /// The drift axis was inconsistent: `epochs > 1` without a drift
+    /// scenario, zero epochs, or a timeline the generator rejected
+    /// against a concrete device.
+    InvalidDrift {
+        /// What was wrong (self-contained, names the scenario and device
+        /// where relevant).
+        reason: String,
+    },
     /// A benchmark name matched nothing in the suite.
     UnknownBenchmark {
         /// The unmatched name.
@@ -364,6 +515,10 @@ impl std::fmt::Display for SweepError {
             }
             SweepError::Topology(e) => e.fmt(f),
             SweepError::Calibration(e) => e.fmt(f),
+            SweepError::Drift(e) => e.fmt(f),
+            SweepError::InvalidDrift { reason } => {
+                write!(f, "invalid drift axis: {reason}")
+            }
             SweepError::UnknownBenchmark { name, known } => {
                 write!(f, "unknown benchmark `{name}` (suite: {known})")
             }
@@ -393,6 +548,7 @@ impl std::error::Error for SweepError {
         match self {
             SweepError::Topology(e) => Some(e),
             SweepError::Calibration(e) => Some(e),
+            SweepError::Drift(e) => Some(e),
             SweepError::Engine(e) => Some(e),
             SweepError::Io { source, .. } => Some(source),
             _ => None,
@@ -409,6 +565,12 @@ impl From<TopologyParseError> for SweepError {
 impl From<CalibrationParseError> for SweepError {
     fn from(e: CalibrationParseError) -> Self {
         SweepError::Calibration(e)
+    }
+}
+
+impl From<DriftParseError> for SweepError {
+    fn from(e: DriftParseError) -> Self {
+        SweepError::Drift(e)
     }
 }
 
@@ -519,6 +681,58 @@ mod tests {
             parse_calibration("UNIFORM", &map, base, 0).unwrap().label(),
             "uniform"
         );
+    }
+
+    #[test]
+    fn drift_grammar_round_trips_and_rejections_are_typed() {
+        let calm = parse_drift("CALM").unwrap();
+        assert_eq!(calm.label, "calm");
+        assert_eq!(
+            (calm.qubit_sigma, calm.edge_sigma, calm.dead_edges),
+            (0.0, 0.0, 0)
+        );
+        let walk = parse_drift("walk0.02").unwrap();
+        assert_eq!(walk.label, "walk0.02");
+        assert_eq!(
+            (walk.qubit_sigma, walk.edge_sigma, walk.dead_edges),
+            (0.02, 0.02, 0)
+        );
+        let eventful = parse_drift("walk0.1dead2").unwrap();
+        assert_eq!(eventful.label, "walk0.1dead2");
+        assert_eq!(eventful.dead_edges, 2);
+        // Labels parse back to the same scenario.
+        for name in ["calm", "walk0.02", "walk0.1dead2"] {
+            let s = parse_drift(name).unwrap();
+            assert_eq!(
+                parse_drift(&s.label).unwrap(),
+                s,
+                "label `{name}` did not round-trip"
+            );
+        }
+        // The scenario instantiates a concrete DriftSpec.
+        let spec = eventful.spec(4, 99);
+        assert_eq!((spec.epochs, spec.dead_edges, spec.seed), (4, 2, 99));
+        assert_eq!(spec.edge_sigma, 0.1);
+        // Rejections are classified.
+        use DriftParseError as E;
+        assert_eq!(
+            parse_drift("storm").unwrap_err(),
+            E::UnknownScenario("storm".into())
+        );
+        assert_eq!(
+            parse_drift("walk").unwrap_err(),
+            E::MalformedParameter("walk".into())
+        );
+        assert_eq!(
+            parse_drift("walk0.1dead").unwrap_err(),
+            E::MalformedParameter("walk0.1dead".into())
+        );
+        assert_eq!(
+            parse_drift("walk0.1dead1.5").unwrap_err(),
+            E::MalformedParameter("walk0.1dead1.5".into())
+        );
+        let msg = parse_drift("storm").unwrap_err().to_string();
+        assert!(msg.contains("storm") && msg.contains("calm"), "{msg}");
     }
 
     #[test]

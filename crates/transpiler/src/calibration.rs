@@ -37,10 +37,16 @@
 //! let cal = Calibration::uniform(&map, model);
 //! // Same bits, not just "close": the calibrated path degrades to Eq. 11.
 //! assert_eq!(
-//!     cal.total_fidelity(118.4, 16).to_bits(),
+//!     cal.total_fidelity(118.4, 16).unwrap().to_bits(),
 //!     model.total_fidelity(118.4, 16).to_bits(),
 //! );
 //! ```
+//!
+//! Calibrations drift between recalibrations: the [`drift`] submodule
+//! grows a seeded random-walk [`drift::CalibrationTimeline`] of
+//! epoch-stamped snapshots out of any initial calibration.
+
+pub mod drift;
 
 use crate::consolidate::Item;
 use crate::fidelity::FidelityModel;
@@ -354,11 +360,17 @@ impl Calibration {
 
     /// One qubit's calibration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `q` is out of range.
-    pub fn qubit(&self, q: usize) -> &QubitCalibration {
-        &self.qubits[q]
+    /// Returns [`TranspileError::QubitOutOfRange`] when `q` is not a
+    /// qubit of the calibrated device (this accessor used to panic;
+    /// callers that have already validated the index can `expect` on the
+    /// documented invariant).
+    pub fn qubit(&self, q: usize) -> Result<&QubitCalibration, TranspileError> {
+        self.qubits.get(q).ok_or(TranspileError::QubitOutOfRange {
+            qubit: q,
+            device: self.qubits.len(),
+        })
     }
 
     /// One edge's calibration; clean nominal values for pairs the map does
@@ -425,12 +437,17 @@ impl Calibration {
     /// `exp(−D·(1/T1 + 1/(2·T2)))` on qubit `q`, reducing to Eq. 10 when
     /// `T2 = ∞`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `q` is out of range.
-    pub fn wire_fidelity(&self, q: usize, duration_pulses: f64) -> f64 {
+    /// Returns [`TranspileError::QubitOutOfRange`] when `q` is not a
+    /// qubit of the calibrated device (this accessor used to panic).
+    pub fn wire_fidelity(&self, q: usize, duration_pulses: f64) -> Result<f64, TranspileError> {
+        Ok(self.wire_fidelity_of(self.qubit(q)?, duration_pulses))
+    }
+
+    /// The wire-fidelity arithmetic for one already-resolved qubit entry.
+    fn wire_fidelity_of(&self, qc: &QubitCalibration, duration_pulses: f64) -> f64 {
         let d_ns = self.base.to_ns(duration_pulses);
-        let qc = &self.qubits[q];
         (-(d_ns / qc.t1_ns + d_ns / (2.0 * qc.t2_ns))).exp()
     }
 
@@ -441,13 +458,30 @@ impl Calibration {
     ///
     /// A uniform calibration answers with the homogeneous closed form
     /// `F_Q^N`, so the legacy pipeline's bits are reproduced exactly.
-    pub fn total_fidelity(&self, duration_pulses: f64, n_wires: usize) -> f64 {
-        if self.is_uniform() {
-            return self.base.total_fidelity(duration_pulses, n_wires);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranspileError::TooManyQubits`] when the circuit is wider
+    /// than the calibrated device. (This used to clamp `n_wires` to the
+    /// device size and report an optimistically truncated product.)
+    pub fn total_fidelity(
+        &self,
+        duration_pulses: f64,
+        n_wires: usize,
+    ) -> Result<f64, TranspileError> {
+        if n_wires > self.qubits.len() {
+            return Err(TranspileError::TooManyQubits {
+                circuit: n_wires,
+                device: self.qubits.len(),
+            });
         }
-        (0..n_wires.min(self.qubits.len()))
-            .map(|q| self.wire_fidelity(q, duration_pulses))
-            .product()
+        if self.is_uniform() {
+            return Ok(self.base.total_fidelity(duration_pulses, n_wires));
+        }
+        Ok(self.qubits[..n_wires]
+            .iter()
+            .map(|qc| self.wire_fidelity_of(qc, duration_pulses))
+            .product())
     }
 
     /// The survival probability of a consolidated circuit through per-edge
@@ -480,16 +514,20 @@ impl Calibration {
     }
 
     /// The worst (highest) per-edge error rate, with its edge — a quick
-    /// scenario diagnostic for reports.
+    /// scenario diagnostic for reports. Ties break to the lowest edge key
+    /// (lexicographic on the normalized `(min, max)` pair), so the
+    /// reported edge stays stable as drift perturbs error rates — `max_by`
+    /// would keep the *last* maximal entry in map order instead.
     pub fn worst_edge(&self) -> Option<((usize, usize), f64)> {
-        self.edges
-            .iter()
-            .max_by(|x, y| {
-                x.1.error_rate
-                    .partial_cmp(&y.1.error_rate)
-                    .expect("error rates are finite")
-            })
-            .map(|(&e, c)| (e, c.error_rate))
+        // BTreeMap iterates in ascending key order; keeping only strictly
+        // greater entries pins ties to the first (lowest) edge key.
+        let mut worst: Option<((usize, usize), f64)> = None;
+        for (&edge, c) in &self.edges {
+            if worst.is_none_or(|(_, rate)| c.error_rate > rate) {
+                worst = Some((edge, c.error_rate));
+            }
+        }
+        worst
     }
 }
 
@@ -551,7 +589,7 @@ mod tests {
         for d in [0.0, 1.0, 3.5, 118.4, 450.0] {
             for n in [1usize, 2, 8, 16] {
                 assert_eq!(
-                    cal.total_fidelity(d, n).to_bits(),
+                    cal.total_fidelity(d, n).unwrap().to_bits(),
                     paper().total_fidelity(d, n).to_bits(),
                     "d = {d}, n = {n}"
                 );
@@ -567,7 +605,7 @@ mod tests {
         let cal = Calibration::spread(&map, paper(), 0.3, 7).unwrap();
         assert!(!cal.is_uniform());
         assert_eq!(cal.label(), "spread0.3");
-        let t1s: Vec<f64> = (0..16).map(|q| cal.qubit(q).t1_ns).collect();
+        let t1s: Vec<f64> = (0..16).map(|q| cal.qubit(q).unwrap().t1_ns).collect();
         assert!(t1s.iter().all(|&t| t > 0.0 && t.is_finite()));
         let spread = t1s.iter().cloned().fold(f64::MIN, f64::max)
             / t1s.iter().cloned().fold(f64::MAX, f64::min);
@@ -632,8 +670,8 @@ mod tests {
         let map = CouplingMap::modular(2, 8, 2).unwrap();
         let cal = Calibration::gradient(&map, paper(), 1.5).unwrap();
         assert_eq!(cal.label(), "gradient1.5");
-        assert!(cal.qubit(0).t1_ns > cal.qubit(15).t1_ns);
-        assert!(cal.qubit(0).d1q_factor < cal.qubit(15).d1q_factor);
+        assert!(cal.qubit(0).unwrap().t1_ns > cal.qubit(15).unwrap().t1_ns);
+        assert!(cal.qubit(0).unwrap().d1q_factor < cal.qubit(15).unwrap().d1q_factor);
         // Inter-chip links (span 8) pay more than intra-chip edges at the
         // same depth.
         let link = cal.edge(0, 8).error_rate;
@@ -690,7 +728,7 @@ mod tests {
         // (2, 1) normalized to (1, 2).
         assert_eq!(cal.edge(1, 2).error_rate, 0.1);
         assert!(cal.edge_noise_cost(1, 2) > 0.0);
-        assert_eq!(cal.qubit(0).t1_ns, 50_000.0);
+        assert_eq!(cal.qubit(0).unwrap().t1_ns, 50_000.0);
         // Non-edges read as nominal.
         assert_eq!(cal.edge(0, 2), EdgeCalibration::nominal());
     }
@@ -737,7 +775,7 @@ mod tests {
                 d1q_factor: 1.0,
             },
         );
-        assert_eq!(ok.qubit(0).t1_ns, 50_000.0);
+        assert_eq!(ok.qubit(0).unwrap().t1_ns, 50_000.0);
     }
 
     #[test]
@@ -795,6 +833,69 @@ mod tests {
             },
         );
         // Finite T2 decays faster than the T1-only wire.
-        assert!(cal.wire_fidelity(0, 10.0) < cal.wire_fidelity(1, 10.0));
+        assert!(cal.wire_fidelity(0, 10.0).unwrap() < cal.wire_fidelity(1, 10.0).unwrap());
+    }
+
+    #[test]
+    fn total_fidelity_rejects_circuits_wider_than_the_device() {
+        // Regression: the old code clamped `n_wires` to the device size and
+        // reported an optimistically truncated product for a 32-wide
+        // circuit on a 16-qubit calibration.
+        let map = CouplingMap::grid(4, 4);
+        for cal in [
+            Calibration::uniform(&map, paper()),
+            Calibration::spread(&map, paper(), 0.3, 7).unwrap(),
+        ] {
+            assert!(cal.total_fidelity(118.4, 16).is_ok());
+            assert!(matches!(
+                cal.total_fidelity(118.4, 32),
+                Err(TranspileError::TooManyQubits {
+                    circuit: 32,
+                    device: 16
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn out_of_range_qubit_indices_are_typed_errors() {
+        let map = CouplingMap::line(3);
+        let cal = Calibration::uniform(&map, paper());
+        assert!(cal.qubit(2).is_ok());
+        assert!(matches!(
+            cal.qubit(3),
+            Err(TranspileError::QubitOutOfRange {
+                qubit: 3,
+                device: 3
+            })
+        ));
+        assert!(cal.wire_fidelity(2, 1.0).is_ok());
+        assert!(matches!(
+            cal.wire_fidelity(7, 1.0),
+            Err(TranspileError::QubitOutOfRange {
+                qubit: 7,
+                device: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn worst_edge_tie_breaks_to_the_lowest_edge_key() {
+        let map = CouplingMap::line(4);
+        let bad = EdgeCalibration {
+            duration_factor: 2.0,
+            error_rate: 0.2,
+        };
+        // Two edges tie for worst; the report must name the lowest key, not
+        // whichever the map iterates last.
+        let cal = Calibration::uniform(&map, paper())
+            .with_edge(1, 2, bad)
+            .with_edge(2, 3, bad);
+        assert_eq!(cal.worst_edge(), Some(((1, 2), 0.2)));
+        // Same ties planted in the opposite builder order: same answer.
+        let cal = Calibration::uniform(&map, paper())
+            .with_edge(2, 3, bad)
+            .with_edge(1, 2, bad);
+        assert_eq!(cal.worst_edge(), Some(((1, 2), 0.2)));
     }
 }

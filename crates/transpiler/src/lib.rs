@@ -67,6 +67,13 @@ pub enum TranspileError {
         /// Device size.
         device: usize,
     },
+    /// A qubit index fell outside the device a calibration covers.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits the calibration covers.
+        device: usize,
+    },
     /// The coupling graph is disconnected, so routing cannot succeed.
     DisconnectedTopology,
     /// An edge list names a self-loop or an endpoint outside `0..n`.
@@ -113,6 +120,12 @@ impl std::fmt::Display for TranspileError {
         match self {
             TranspileError::TooManyQubits { circuit, device } => {
                 write!(f, "circuit has {circuit} qubits but device has {device}")
+            }
+            TranspileError::QubitOutOfRange { qubit, device } => {
+                write!(
+                    f,
+                    "qubit {qubit} is out of range for a {device}-qubit calibration"
+                )
             }
             TranspileError::DisconnectedTopology => {
                 write!(f, "coupling topology is disconnected")

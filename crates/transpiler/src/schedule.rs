@@ -87,7 +87,13 @@ fn schedule_impl(
     calibration: Option<&Calibration>,
 ) -> Schedule {
     let d1q = model.d_1q();
-    let qubit_factor = |q: usize| calibration.map_or(1.0, |c| c.qubit(q).d1q_factor);
+    let qubit_factor = |q: usize| {
+        calibration.map_or(1.0, |c| {
+            c.qubit(q)
+                .expect("job admission validates the circuit fits its calibrated device")
+                .d1q_factor
+        })
+    };
     let edge_factor =
         |a: usize, b: usize| calibration.map_or(1.0, |c| c.edge(a, b).duration_factor);
     let mut ready = vec![0.0_f64; n_qubits];

@@ -48,11 +48,11 @@ proptest! {
         let cal = Calibration::uniform(&map, model);
         prop_assert!(cal.is_uniform());
         prop_assert_eq!(
-            cal.wire_fidelity(0, duration).to_bits(),
+            cal.wire_fidelity(0, duration).unwrap().to_bits(),
             model.qubit_fidelity(duration).to_bits()
         );
         prop_assert_eq!(
-            cal.total_fidelity(duration, n_wires).to_bits(),
+            cal.total_fidelity(duration, n_wires).unwrap().to_bits(),
             model.total_fidelity(duration, n_wires).to_bits()
         );
     }
@@ -99,7 +99,8 @@ proptest! {
         // calibrated F_T multiplier never perturbs the homogeneous bits.
         prop_assert_eq!(cal.gate_error_product(&items).to_bits(), 1.0f64.to_bits());
         prop_assert_eq!(
-            (cal.total_fidelity(plain.duration, 9) * cal.gate_error_product(&items)).to_bits(),
+            (cal.total_fidelity(plain.duration, 9).unwrap() * cal.gate_error_product(&items))
+                .to_bits(),
             model.total_fidelity(plain.duration, 9).to_bits()
         );
     }
